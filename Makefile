@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test vet bench experiments verify cover race clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+cover:
+	go test -cover ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate the EXPERIMENTS.md tables (medium scale, recorded seed).
+experiments:
+	go run ./cmd/experiments -scale medium -seed 2006
+
+# Machine-checkable reproduction scorecard: one pass/fail per claim.
+verify:
+	go run ./cmd/experiments -verify -seed 2006
+
+clean:
+	go clean ./...

@@ -1,0 +1,150 @@
+package repro
+
+// Benchmark harness: one Benchmark per reproduction experiment (E1–E22 of
+// DESIGN.md §3 — the paper is a theory extended abstract with no tables or
+// figures, so each of its claims and each extension maps to one experiment
+// here), plus micro-benchmarks of the substrates. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark executes the full experiment at Small scale
+// per iteration and ALSO prints its result table the first time, so a
+// bench run regenerates every number in miniature; cmd/experiments
+// produces the Medium-scale tables recorded in EXPERIMENTS.md.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/radio"
+	"repro/internal/rumor"
+)
+
+var benchPrintOnce sync.Map // experiment ID -> *sync.Once
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.Get(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	oncer, _ := benchPrintOnce.LoadOrStore(id, &sync.Once{})
+	for i := 0; i < b.N; i++ {
+		cfg := exp.Config{Scale: exp.Small, Seed: 1000 + uint64(i)}
+		tables := e.Run(cfg)
+		if len(tables) == 0 {
+			b.Fatalf("%s produced no tables", id)
+		}
+		oncer.(*sync.Once).Do(func() {
+			b.Logf("%s: %s\n", e.ID, e.Title)
+			for _, t := range tables {
+				b.Logf("\n%s", t.String())
+			}
+		})
+	}
+}
+
+func BenchmarkE1CentralizedScalingN(b *testing.B)    { runExperiment(b, "E1") }
+func BenchmarkE2CentralizedScalingD(b *testing.B)    { runExperiment(b, "E2") }
+func BenchmarkE3CentralizedLowerBound(b *testing.B)  { runExperiment(b, "E3") }
+func BenchmarkE4DistributedScalingN(b *testing.B)    { runExperiment(b, "E4") }
+func BenchmarkE5ProtocolComparison(b *testing.B)     { runExperiment(b, "E5") }
+func BenchmarkE6DistributedLowerBound(b *testing.B)  { runExperiment(b, "E6") }
+func BenchmarkE7LayerStructure(b *testing.B)         { runExperiment(b, "E7") }
+func BenchmarkE8CoversMatchings(b *testing.B)        { runExperiment(b, "E8") }
+func BenchmarkE9DenseRegime(b *testing.B)            { runExperiment(b, "E9") }
+func BenchmarkE10ModelCrossover(b *testing.B)        { runExperiment(b, "E10") }
+func BenchmarkE11GnmEquivalence(b *testing.B)        { runExperiment(b, "E11") }
+func BenchmarkE12Ablations(b *testing.B)             { runExperiment(b, "E12") }
+func BenchmarkE13Gossiping(b *testing.B)             { runExperiment(b, "E13") }
+func BenchmarkE14ExactOptima(b *testing.B)           { runExperiment(b, "E14") }
+func BenchmarkE15ScheduleFamily(b *testing.B)        { runExperiment(b, "E15") }
+func BenchmarkE16CrashFaults(b *testing.B)           { runExperiment(b, "E16") }
+func BenchmarkE17CommunityStructure(b *testing.B)    { runExperiment(b, "E17") }
+func BenchmarkE18SourceInvariance(b *testing.B)      { runExperiment(b, "E18") }
+func BenchmarkE19KnowledgeAndCD(b *testing.B)        { runExperiment(b, "E19") }
+func BenchmarkE20PipelineThroughput(b *testing.B)    { runExperiment(b, "E20") }
+func BenchmarkE21LeaderElection(b *testing.B)        { runExperiment(b, "E21") }
+func BenchmarkE22ConnectivityThreshold(b *testing.B) { runExperiment(b, "E22") }
+
+// --- substrate micro-benchmarks --------------------------------------------
+
+func BenchmarkSubstrateGnpGeneration(b *testing.B) {
+	rng := NewRand(1)
+	const n = 100000
+	d := 2 * math.Log(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := GnpDegree(n, d, rng)
+		if g.N() != n {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkSubstrateCentralizedBuild(b *testing.B) {
+	rng := NewRand(2)
+	const n = 20000
+	d := 2 * math.Log(n)
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildSchedule(g, 0, d, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstrateDistributedRun(b *testing.B) {
+	rng := NewRand(3)
+	const n = 20000
+	d := 2 * math.Log(n)
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Broadcast(g, 0, d, rng)
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+func BenchmarkSubstrateEngineRound(b *testing.B) {
+	rng := NewRand(4)
+	const n = 50000
+	d := 20.0
+	g := GnpDegree(n, d, rng)
+	e := radio.NewEngine(g, 0, radio.MagicTransmitters)
+	tx := rng.Sample(n, n/int(d))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Round(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubstratePushRumor(b *testing.B) {
+	rng := NewRand(5)
+	const n = 20000
+	d := 3 * math.Log(n)
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := rumor.Spread(g, 0, rumor.Push, 10*MaxRounds(n), rng)
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Adhoc: head-to-head protocol shoot-out on an unknown-topology ad-hoc
+// network — the related-work landscape of §1.2 in one run.
+//
+// On the same random radio network we race: the paper's distributed
+// protocol (Theorem 7), BGI Decay, ALOHA, a deterministic selective-family
+// schedule, deterministic round-robin, and — crossing models — single-port
+// push and push–pull rumor spreading (Feige et al.), which have no
+// collisions at all.
+//
+// Run with:
+//
+//	go run ./examples/adhoc
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+
+	repro "repro"
+	"repro/internal/protocols"
+	"repro/internal/rumor"
+	"repro/internal/selective"
+)
+
+const trials = 7
+
+func medianTime(run func(rng *repro.Rand) int) int {
+	times := make([]int, trials)
+	for i := range times {
+		times[i] = run(repro.NewRand(1000 + uint64(i)))
+	}
+	sort.Ints(times)
+	return times[trials/2]
+}
+
+func main() {
+	const n = 10000
+	d := 2 * math.Log(n)
+	g, ok := repro.ConnectedGnpDegree(n, d, repro.NewRand(3))
+	if !ok {
+		log.Fatal("no connected sample")
+	}
+	fmt.Printf("Ad-hoc network: %v, d=%.1f, ln n = %.1f\n\n", g, d, math.Log(n))
+	budget := 6 * n
+
+	family := selective.Random(n, int(4*d), int(math.Ceil(math.Log2(n))), repro.NewRand(9))
+
+	rows := []struct {
+		name  string
+		model string
+		run   func(rng *repro.Rand) int
+	}{
+		{"paper protocol (Thm 7)", "radio", func(rng *repro.Rand) int {
+			return repro.BroadcastTime(g, 0, repro.NewProtocol(n, d), budget, rng)
+		}},
+		{"decay (BGI)", "radio", func(rng *repro.Rand) int {
+			return repro.BroadcastTime(g, 0, protocols.NewDecay(n), budget, rng)
+		}},
+		{"aloha 1/d", "radio", func(rng *repro.Rand) int {
+			return repro.BroadcastTime(g, 0, protocols.NewAloha(d), budget, rng)
+		}},
+		{"selective family", "radio", func(rng *repro.Rand) int {
+			return repro.BroadcastTime(g, 0, &selective.Protocol{F: family}, budget, rng)
+		}},
+		{"round robin", "radio", func(rng *repro.Rand) int {
+			return repro.BroadcastTime(g, 0, &protocols.RoundRobin{N: n}, budget, rng)
+		}},
+		{"push rumor", "single-port", func(rng *repro.Rand) int {
+			return rumor.SpreadTime(g, 0, rumor.Push, budget, rng)
+		}},
+		{"push-pull rumor", "single-port", func(rng *repro.Rand) int {
+			return rumor.SpreadTime(g, 0, rumor.PushPull, budget, rng)
+		}},
+	}
+
+	fmt.Printf("%-26s %-12s %s\n", "protocol", "model", "median rounds (x ln n)")
+	fmt.Printf("%-26s %-12s %s\n", "--------", "-----", "----------------------")
+	for _, r := range rows {
+		med := medianTime(r.run)
+		note := fmt.Sprintf("%6d   (%.1f)", med, float64(med)/math.Log(n))
+		if med > budget {
+			note = fmt.Sprintf("did not finish in %d rounds", budget)
+		}
+		fmt.Printf("%-26s %-12s %s\n", r.name, r.model, note)
+	}
+
+	fmt.Println("\nReading: the paper's protocol pays only a constant over collision-free")
+	fmt.Println("push; Decay pays an extra Θ(log) factor; deterministic schedules pay")
+	fmt.Println("polynomially. This is the E5/E10 comparison at a single size.")
+}

@@ -1,0 +1,66 @@
+package repro
+
+// Programmatic access to the reproduction experiments, so downstream code
+// can rerun any claim's measurement without shelling out to
+// cmd/experiments.
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/table"
+)
+
+// ExperimentScale selects how large an experiment run is.
+type ExperimentScale = exp.Scale
+
+// Experiment scales.
+const (
+	ScaleSmall  = exp.Small
+	ScaleMedium = exp.Medium
+	ScaleFull   = exp.Full
+)
+
+// ResultTable is a rendered experiment result (text / Markdown / CSV /
+// JSON views).
+type ResultTable = table.Table
+
+// Experiments lists the registered experiment IDs in order (E1…).
+func Experiments() []string {
+	all := exp.All()
+	ids := make([]string, len(all))
+	for i, e := range all {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ExperimentInfo returns the title and claim of an experiment.
+func ExperimentInfo(id string) (title, claim string, err error) {
+	e, ok := exp.Get(id)
+	if !ok {
+		return "", "", fmt.Errorf("repro: unknown experiment %q", id)
+	}
+	return e.Title, e.Claim, nil
+}
+
+// RunExperiment executes one experiment and returns its result tables.
+// The same (id, scale, seed) always returns identical tables.
+func RunExperiment(id string, scale ExperimentScale, seed uint64) ([]*ResultTable, error) {
+	e, ok := exp.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("repro: unknown experiment %q", id)
+	}
+	return e.Run(exp.Config{Scale: scale, Seed: seed}), nil
+}
+
+// ReproductionCheck is one pass/fail acceptance criterion tied to a claim
+// of the paper.
+type ReproductionCheck = exp.Check
+
+// VerifyReproduction runs the full scorecard: one acceptance check per
+// claim. ok reports whether every check passed.
+func VerifyReproduction(scale ExperimentScale, seed uint64) (checks []ReproductionCheck, ok bool) {
+	checks = exp.Scorecard(exp.Config{Scale: scale, Seed: seed})
+	return checks, exp.ScorecardPassed(checks)
+}

@@ -1,0 +1,59 @@
+package repro
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExperimentsRegistry(t *testing.T) {
+	ids := Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments", len(ids))
+	}
+	if ids[0] != "E1" {
+		t.Fatalf("first id %q", ids[0])
+	}
+	title, claim, err := ExperimentInfo("E1")
+	if err != nil || title == "" || claim == "" {
+		t.Fatalf("E1 info: %q %q %v", title, claim, err)
+	}
+	if _, _, err := ExperimentInfo("nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	tables, err := RunExperiment("E14", ScaleSmall, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		t.Fatal("no results")
+	}
+	if !strings.Contains(tables[0].String(), "OPT") {
+		t.Fatalf("unexpected table: %s", tables[0].Title)
+	}
+	if _, err := RunExperiment("E999", ScaleSmall, 1); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestVerifyReproductionFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	checks, ok := VerifyReproduction(ScaleSmall, 424242)
+	if len(checks) < 10 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	if !ok {
+		for _, c := range checks {
+			if !c.Pass {
+				t.Errorf("%s: %s — %s", c.ID, c.Claim, c.Detail)
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package core
+
+import "math"
+
+// CentralizedBound returns the paper's Theorem 5/6 round bound
+// ln n / ln d + ln d (without the hidden constant). Measured centralized
+// schedule lengths divided by this quantity should be bounded above and
+// below by constants as n grows (experiments E1–E3).
+func CentralizedBound(n int, d float64) float64 {
+	if n < 2 || d <= 1 {
+		return math.Inf(1)
+	}
+	return math.Log(float64(n))/math.Log(d) + math.Log(d)
+}
+
+// DistributedBound returns the Theorem 7/8 bound ln n (again without the
+// constant). Measured distributed completion times divided by this value
+// should be constant in n (experiment E4).
+func DistributedBound(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log(float64(n))
+}
+
+// DenseBound returns the dense-regime bound ln n / ln(1/f) for graphs
+// G(n, 1-f) discussed at the end of §3.1 (experiment E9).
+func DenseBound(n int, f float64) float64 {
+	if n < 2 || f <= 0 || f >= 1 {
+		return math.Inf(1)
+	}
+	return math.Log(float64(n)) / math.Log(1/f)
+}
+
+// OptimalDegree returns the expected degree d* minimising the centralized
+// bound ln n/ln d + ln d for a given n: the minimiser of g(x) = L/x + x
+// with x = ln d and L = ln n is x = √L, so d* = exp(√(ln n)). The U-shape
+// of experiment E2 should bottom out near this degree.
+func OptimalDegree(n int) float64 {
+	if n < 3 {
+		return 2
+	}
+	return math.Exp(math.Sqrt(math.Log(float64(n))))
+}

@@ -1,0 +1,53 @@
+// Package core implements the paper's two broadcasting algorithms — the
+// centralized schedule of Theorem 5 and the fully distributed randomized
+// protocol of Theorem 7 — together with the theoretical round bounds they
+// are measured against.
+//
+// # Centralized broadcasting (§3.1)
+//
+// With full topology knowledge, BuildCentralizedSchedule constructs an
+// explicit transmit schedule in five phases, following the paper's
+// algorithm:
+//
+//  1. Tree phase: for rounds i = 1, 2, …, nodes at even distance from the
+//     source transmit in odd rounds and nodes at odd distance transmit in
+//     even rounds (the parity ping-pong of the proof of Theorem 5). Because
+//     the early BFS layers of G(n,p) are almost trees (Lemma 3), this
+//     informs nearly all of each small layer, one layer per round, up to
+//     the first layer D* of size Ω(n/d).
+//  2. Kick-off: one round in which Θ(n/d) informed vertices of layer D*
+//     transmit, informing Θ(n) vertices of the following (giant) layer.
+//  3. Selective phase: ≈ c·ln d rounds, each transmitting a uniformly
+//     random 1/d-fraction of the informed nodes, pairwise disjoint from
+//     the sets used in earlier selective rounds. By Lemma 4 each such
+//     round informs a constant fraction of the remaining uninformed nodes,
+//     so after c·ln d rounds only O(n/d²) remain.
+//  4. Independent-cover finish: rounds built from explicit independent
+//     covers (every remaining uninformed node hears exactly one
+//     transmitter), constructed greedily from the uninformed nodes'
+//     informed neighbourhoods (Lemma 4, second statement).
+//  5. Backward sweep: the stragglers in the small layers T_i, i < D*, are
+//     informed layer by layer (descending i) with independent covers from
+//     the already-informed deeper layers.
+//
+// The schedule length is O(ln n / ln d + ln d) w.h.p. (Theorem 5), which
+// experiment E1/E2 verifies empirically against CentralizedBound.
+//
+// # Distributed broadcasting (§3.2)
+//
+// DistributedProtocol implements the randomized protocol verbatim: nodes
+// know only n and the expected degree d = pn.
+//
+//   - Rounds 1 … D₁ = ⌊log n / log d⌋ − 1: every informed node transmits
+//     (non-selective rounds).
+//   - Round D₁+1: informed nodes transmit with probability chosen to
+//     select ≈ n/d of them (the paper's "n/d^D-selective" round).
+//   - Rounds > D₁+1: every node informed during the first D₁+1 rounds
+//     transmits with probability 1/d (1/d-selective rounds).
+//
+// Completion takes O(ln n) rounds w.h.p. (Theorem 7; experiment E4).
+// The selective pool follows the PROOF of Theorem 7 (a 1/d-fraction of all
+// currently informed nodes); the paper's literal protocol statement, which
+// restricts the pool to first-phase nodes and strands finite instances, is
+// available as NewRestrictedPoolProtocol and ablated in E12.
+package core

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+func TestLayeredCoverScheduleCompletes(t *testing.T) {
+	const n = 1000
+	d := 2 * math.Log(n)
+	g := mustConnected(t, n, d, 31)
+	sched, err := BuildLayeredCoverSchedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("layered cover incomplete: %d/%d", res.Informed, n)
+	}
+	// Single transmitters per round: no collisions at all.
+	if res.Stats.Collisions != 0 {
+		t.Fatalf("layered cover had %d collisions", res.Stats.Collisions)
+	}
+}
+
+func TestLayeredCoverScheduleMuchLongerThanPaper(t *testing.T) {
+	// The baseline's point: deterministic layer-cover pays Θ(n ln d / d)
+	// rounds on G(n,p), far above the paper's O(ln n/ln d + ln d).
+	const n = 2000
+	d := 2 * math.Log(n)
+	g := mustConnected(t, n, d, 37)
+	layered, err := BuildLayeredCoverSchedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, _, err := BuildCentralizedSchedule(g, 0, d, DefaultCentralizedConfig(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if layered.Len() < 5*paper.Len() {
+		t.Fatalf("layered (%d) not clearly worse than paper (%d)", layered.Len(), paper.Len())
+	}
+}
+
+func TestLayeredCoverOnPathAndStar(t *testing.T) {
+	g := gen.Path(20)
+	sched, err := BuildLayeredCoverSchedule(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+	if err != nil || !res.Completed {
+		t.Fatalf("path: %v %d", err, res.Informed)
+	}
+	if sched.Len() != 19 {
+		t.Fatalf("path schedule %d rounds, want 19", sched.Len())
+	}
+	sched, err = BuildLayeredCoverSchedule(gen.Star(10), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Len() != 1 {
+		t.Fatalf("star schedule %d rounds, want 1", sched.Len())
+	}
+}
+
+func TestLayeredCoverErrors(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	if _, err := BuildLayeredCoverSchedule(b.Build(), 0); err == nil {
+		t.Fatal("disconnected accepted")
+	}
+	if _, err := BuildLayeredCoverSchedule(graph.NewBuilder(0).Build(), 0); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestGreedySetCoverCoversEverything(t *testing.T) {
+	rng := xrand.New(41)
+	const n = 400
+	g := gen.Gnp(n, 0.05, rng)
+	var candidates, target []int32
+	for v := int32(0); v < n; v++ {
+		if v < n/2 {
+			candidates = append(candidates, v)
+		} else {
+			target = append(target, v)
+		}
+	}
+	cover := greedySetCover(g, candidates, target)
+	covered := make(map[int32]bool)
+	for _, v := range cover {
+		for _, w := range g.Neighbors(v) {
+			covered[w] = true
+		}
+	}
+	for _, w := range target {
+		coverable := false
+		for _, nb := range g.Neighbors(w) {
+			if nb < int32(n/2) {
+				coverable = true
+				break
+			}
+		}
+		if coverable && !covered[w] {
+			t.Fatalf("coverable target %d left uncovered", w)
+		}
+	}
+}
+
+func TestCompressScheduleShortensAndStaysValid(t *testing.T) {
+	const n = 2000
+	d := 2 * math.Log(n)
+	g := mustConnected(t, n, d, 43)
+	sched, _, err := BuildCentralizedSchedule(g, 0, d, DefaultCentralizedConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := CompressSchedule(g, 0, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() > sched.Len() {
+		t.Fatalf("compression lengthened the schedule: %d -> %d", sched.Len(), comp.Len())
+	}
+	res, err := radio.ExecuteSchedule(g, 0, comp, radio.StrictInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("compressed schedule incomplete: %d/%d", res.Informed, n)
+	}
+	// Transmission budget should shrink (fewer redundant transmitters).
+	orig, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Transmissions > orig.Stats.Transmissions {
+		t.Fatalf("compression increased transmissions: %d -> %d",
+			orig.Stats.Transmissions, res.Stats.Transmissions)
+	}
+}
+
+func TestCompressRoundRobinCollapses(t *testing.T) {
+	// Round-robin schedules are full of useless rounds once everyone is
+	// informed locally; compression must strip them hard.
+	const n = 300
+	g := mustConnected(t, n, 12, 47)
+	rr := RoundRobinSchedule(g, 0)
+	comp, err := CompressSchedule(g, 0, rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Len() >= rr.Len() {
+		t.Fatalf("compression did not shrink round robin: %d -> %d", rr.Len(), comp.Len())
+	}
+	res, err := radio.ExecuteSchedule(g, 0, comp, radio.StrictInformed)
+	if err != nil || !res.Completed {
+		t.Fatalf("compressed RR invalid: %v %d", err, res.Informed)
+	}
+}
+
+func TestCompressPreservesIncompleteness(t *testing.T) {
+	g := gen.Path(10)
+	short := &radio.Schedule{Sets: [][]int32{{0}, {1}}}
+	comp, err := CompressSchedule(g, 0, short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := radio.ExecuteSchedule(g, 0, comp, radio.StrictInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Informed != 3 {
+		t.Fatalf("compressed partial schedule informs %d, want 3", res.Informed)
+	}
+}
+
+func BenchmarkLayeredCoverSchedule(b *testing.B) {
+	const n = 5000
+	d := 2 * math.Log(n)
+	g := mustConnected(b, n, d, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildLayeredCoverSchedule(g, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Differential property test: on random graphs and random (messy, partly
+// redundant) schedules, compression must preserve the informed-set
+// trajectory's final coverage exactly when the input completes, and the
+// compressed run must always dominate the original run's informed set.
+func TestCompressScheduleDifferentialProperty(t *testing.T) {
+	rng := xrand.New(2024)
+	for trial := 0; trial < 25; trial++ {
+		n := 30 + rng.Intn(120)
+		g, _, ok := gen.ConnectedGnp(n, 0.15+0.3*rng.Float64(), rng, 50)
+		if !ok {
+			continue
+		}
+		// Build a messy but valid schedule: simulate flood-ish rounds,
+		// recording random subsets of the currently informed set.
+		e := radio.NewEngine(g, 0, radio.StrictInformed)
+		sched := &radio.Schedule{}
+		for r := 0; r < 6*n && !e.Done(); r++ {
+			var pool []int32
+			pool = e.AppendInformed(pool)
+			set := rng.SubsetEach(nil, pool, 0.3+0.5*rng.Float64())
+			if len(set) == 0 {
+				set = append(set, pool[rng.Intn(len(pool))])
+			}
+			sched.Sets = append(sched.Sets, set)
+			if _, err := e.Round(set); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !e.Done() {
+			continue // unlucky random schedule; property only on complete inputs
+		}
+		orig, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := CompressSchedule(g, 0, sched)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := radio.ExecuteSchedule(g, 0, comp, radio.StrictInformed)
+		if err != nil {
+			t.Fatalf("trial %d: compressed replay: %v", trial, err)
+		}
+		if !res.Completed {
+			t.Fatalf("trial %d: compression lost completion", trial)
+		}
+		if res.Rounds > orig.Rounds {
+			t.Fatalf("trial %d: compression lengthened %d -> %d", trial, orig.Rounds, res.Rounds)
+		}
+		// Domination: every node informed no later than in the original.
+		for v := range res.InformedAt {
+			if res.InformedAt[v] > orig.InformedAt[v] {
+				t.Fatalf("trial %d: node %d informed later after compression (%d > %d)",
+					trial, v, res.InformedAt[v], orig.InformedAt[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,137 @@
+// Package election implements leader election in single-hop radio
+// networks — the other foundational primitive of the radio-network
+// literature the paper's broadcasting results sit beside. n stations
+// share one channel; in each round every station chooses to transmit or
+// listen, and a round ELECTS a leader iff exactly one station transmits.
+// Stations know n (or an estimate) but have no identifiers.
+//
+// Two classical protocols:
+//
+//   - Uniform (no collision detection): every station transmits with
+//     probability 1/n each round. Success probability per round is
+//     n·(1/n)·(1−1/n)^{n−1} → 1/e, so the expected election time is
+//     e ≈ 2.72 rounds when n is known exactly; with only an upper bound
+//     N ≥ n, sweeping rates 1/2, 1/4, …, 1/N costs Θ(log N) rounds.
+//   - Willard (with collision detection): binary-search the activity
+//     scale. Stations transmit with probability 2^{−mid}; a collision
+//     means the rate is too high, silence means too low, a single
+//     transmission elects. With feedback the search needs only
+//     O(log log N) expected rounds.
+//
+// The election engine is exact (it samples the number of transmitters
+// per round) rather than graph-based: a single-hop network is a clique,
+// so only the count matters. Experiment E21 measures both protocols'
+// scaling.
+package election
+
+import (
+	"math"
+
+	"repro/internal/xrand"
+)
+
+// Outcome is the channel feedback of one election round.
+type Outcome uint8
+
+const (
+	// Silence: no station transmitted.
+	Silence Outcome = iota
+	// Single: exactly one station transmitted — it becomes the leader.
+	Single
+	// Collision: two or more stations transmitted.
+	Collision
+)
+
+// roundOutcome samples one round in which each of n stations transmits
+// independently with probability p.
+func roundOutcome(n int, p float64, rng *xrand.Rand) Outcome {
+	k := rng.Binomial(n, p)
+	switch k {
+	case 0:
+		return Silence
+	case 1:
+		return Single
+	default:
+		return Collision
+	}
+}
+
+// Uniform elects a leader among n stations that all know n exactly, by
+// transmitting with probability 1/n per round (no collision detection
+// needed — stations simply retry until the round succeeds, detected by
+// the leader's subsequent acknowledgement, which we do not charge).
+// Returns the number of rounds used, or maxRounds+1 on failure.
+func Uniform(n, maxRounds int, rng *xrand.Rand) int {
+	if n <= 0 {
+		return maxRounds + 1
+	}
+	if n == 1 {
+		return 1
+	}
+	p := 1 / float64(n)
+	for r := 1; r <= maxRounds; r++ {
+		if roundOutcome(n, p, rng) == Single {
+			return r
+		}
+	}
+	return maxRounds + 1
+}
+
+// Sweep elects a leader when stations know only an upper bound nBound on
+// n: rates 1/2, 1/4, …, 1/nBound are swept cyclically. Without collision
+// detection a station cannot tell silence from collision, so the sweep
+// simply retries all scales — Θ(log nBound) rounds per cycle, O(log n)
+// expected total.
+func Sweep(n, nBound, maxRounds int, rng *xrand.Rand) int {
+	if n <= 0 || nBound < n {
+		return maxRounds + 1
+	}
+	if n == 1 {
+		return 1
+	}
+	scales := int(math.Ceil(math.Log2(float64(nBound)))) + 1
+	for r := 1; r <= maxRounds; r++ {
+		exp := uint((r - 1) % scales)
+		p := math.Pow(2, -float64(exp+1))
+		if roundOutcome(n, p, rng) == Single {
+			return r
+		}
+	}
+	return maxRounds + 1
+}
+
+// Willard elects a leader with collision detection, knowing only the
+// upper bound nBound: binary search over the scale exponent in
+// [0, log₂ nBound]. Collision ⇒ too many transmitters (raise the
+// exponent); silence ⇒ too few (lower it); single ⇒ done. When the
+// search interval collapses without success it restarts (randomness can
+// mislead single rounds). Expected O(log log nBound) rounds.
+func Willard(n, nBound, maxRounds int, rng *xrand.Rand) int {
+	if n <= 0 || nBound < n {
+		return maxRounds + 1
+	}
+	if n == 1 {
+		return 1
+	}
+	maxExp := math.Ceil(math.Log2(float64(nBound)))
+	lo, hi := 0.0, maxExp
+	for r := 1; r <= maxRounds; r++ {
+		mid := math.Floor((lo + hi) / 2)
+		p := math.Pow(2, -mid)
+		if p > 1 {
+			p = 1
+		}
+		switch roundOutcome(n, p, rng) {
+		case Single:
+			return r
+		case Collision:
+			lo = mid + 1 // too much activity: damp harder
+		case Silence:
+			hi = mid - 1 // too little: transmit more
+		}
+		if lo > hi {
+			lo, hi = 0, maxExp // restart the search
+		}
+	}
+	return maxRounds + 1
+}

@@ -1,0 +1,167 @@
+package election
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+func meanRounds(t *testing.T, trials int, run func(rng *xrand.Rand) int) float64 {
+	t.Helper()
+	var xs []float64
+	rng := xrand.New(7)
+	for i := 0; i < trials; i++ {
+		r := run(rng.Derive(uint64(i) + 1))
+		xs = append(xs, float64(r))
+	}
+	return stats.Mean(xs)
+}
+
+func TestUniformExpectedE(t *testing.T) {
+	// With n known exactly, success probability per round is ~1/e, so the
+	// mean election time is ~e.
+	for _, n := range []int{10, 100, 10000} {
+		mean := meanRounds(t, 2000, func(rng *xrand.Rand) int {
+			return Uniform(n, 1000, rng)
+		})
+		if math.Abs(mean-math.E) > 0.35 {
+			t.Fatalf("n=%d: mean rounds %v, want ~e", n, mean)
+		}
+	}
+}
+
+func TestUniformSingleStation(t *testing.T) {
+	if got := Uniform(1, 10, xrand.New(1)); got != 1 {
+		t.Fatalf("single station elects in %d", got)
+	}
+	if got := Uniform(0, 10, xrand.New(1)); got != 11 {
+		t.Fatalf("zero stations: %d", got)
+	}
+}
+
+func TestSweepScalesLogarithmically(t *testing.T) {
+	// With only an upper bound, the sweep pays ~log(nBound) per cycle.
+	mean256 := meanRounds(t, 800, func(rng *xrand.Rand) int {
+		return Sweep(100, 256, 10000, rng)
+	})
+	mean64k := meanRounds(t, 800, func(rng *xrand.Rand) int {
+		return Sweep(100, 1<<16, 10000, rng)
+	})
+	if mean64k <= mean256 {
+		t.Fatalf("larger bound should cost more: %v vs %v", mean256, mean64k)
+	}
+	// Ratio should be near log(64k)/log(256) = 2, not 256x.
+	if mean64k > 6*mean256 {
+		t.Fatalf("sweep grows too fast: %v -> %v", mean256, mean64k)
+	}
+}
+
+func TestSweepRejectsBadBound(t *testing.T) {
+	if got := Sweep(100, 50, 100, xrand.New(2)); got != 101 {
+		t.Fatalf("bound below n accepted: %d", got)
+	}
+}
+
+func TestWillardBeatsSweep(t *testing.T) {
+	// Collision detection buys the gap: Willard's binary search needs
+	// far fewer rounds than the oblivious sweep at large nBound.
+	const n = 1000
+	const bound = 1 << 20
+	sweep := meanRounds(t, 500, func(rng *xrand.Rand) int {
+		return Sweep(n, bound, 100000, rng)
+	})
+	willard := meanRounds(t, 500, func(rng *xrand.Rand) int {
+		return Willard(n, bound, 100000, rng)
+	})
+	if willard >= sweep {
+		t.Fatalf("Willard (%v) not faster than sweep (%v)", willard, sweep)
+	}
+}
+
+func TestWillardScalesDoublyLogarithmically(t *testing.T) {
+	// Mean rounds should barely move as nBound explodes.
+	m16 := meanRounds(t, 800, func(rng *xrand.Rand) int {
+		return Willard(100, 1<<16, 100000, rng)
+	})
+	m30 := meanRounds(t, 800, func(rng *xrand.Rand) int {
+		return Willard(100, 1<<30, 100000, rng)
+	})
+	if m30 > 2*m16+2 {
+		t.Fatalf("Willard grows too fast with the bound: %v -> %v", m16, m30)
+	}
+}
+
+func TestWillardAlwaysCompletes(t *testing.T) {
+	rng := xrand.New(3)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10000)
+		if got := Willard(n, 1<<20, 100000, rng); got > 100000 {
+			t.Fatalf("Willard failed for n=%d", n)
+		}
+	}
+}
+
+func TestRoundOutcome(t *testing.T) {
+	rng := xrand.New(4)
+	if roundOutcome(10, 0, rng) != Silence {
+		t.Fatal("p=0 not silent")
+	}
+	if roundOutcome(5, 1, rng) != Collision {
+		t.Fatal("all-transmit not collision")
+	}
+	if roundOutcome(1, 1, rng) != Single {
+		t.Fatal("lone station not single")
+	}
+}
+
+func BenchmarkWillard(b *testing.B) {
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		Willard(1000, 1<<20, 100000, rng)
+	}
+}
+
+func TestElectionFailurePaths(t *testing.T) {
+	rng := xrand.New(9)
+	// Exhausted budgets return the sentinel.
+	if got := Uniform(1000, 0, rng); got != 1 {
+		t.Fatalf("Uniform budget 0 = %d, want sentinel 1", got)
+	}
+	// A genuinely unwinnable configuration: maxRounds 0.
+	if got := Sweep(100, 256, 0, rng); got != 1 {
+		t.Fatalf("Sweep budget 0 = %d, want sentinel 1", got)
+	}
+	if got := Willard(100, 256, 0, rng); got != 1 {
+		t.Fatalf("Willard budget 0 = %d, want sentinel 1", got)
+	}
+	// Degenerate station counts.
+	if got := Sweep(0, 10, 5, rng); got != 6 {
+		t.Fatalf("Sweep n=0 = %d", got)
+	}
+	if got := Willard(0, 10, 5, rng); got != 6 {
+		t.Fatalf("Willard n=0 = %d", got)
+	}
+	if got := Willard(5, 4, 5, rng); got != 6 {
+		t.Fatalf("Willard bound<n = %d", got)
+	}
+	if got := Sweep(1, 10, 5, rng); got != 1 {
+		t.Fatalf("Sweep n=1 = %d", got)
+	}
+	if got := Willard(1, 10, 5, rng); got != 1 {
+		t.Fatalf("Willard n=1 = %d", got)
+	}
+}
+
+func TestWillardRestartPath(t *testing.T) {
+	// Force interval collapse: tiny bound, moderate n. With nBound = 2
+	// the search interval is [0,1]; collapse and restart must still
+	// terminate with a success eventually.
+	rng := xrand.New(10)
+	for trial := 0; trial < 50; trial++ {
+		if got := Willard(2, 2, 10000, rng); got > 10000 {
+			t.Fatal("Willard with tiny bound failed")
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package exp
+
+import "testing"
+
+// The scorecard is the repository's executable definition of "the
+// reproduction holds": every check must pass at the test scale.
+func TestScorecardAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scorecard skipped in -short mode")
+	}
+	checks := Scorecard(Config{Scale: Small, Seed: 424242, Trials: 3})
+	if len(checks) < 10 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if c.ID == "" || c.Claim == "" || c.Detail == "" {
+			t.Fatalf("malformed check %+v", c)
+		}
+		if !c.Pass {
+			t.Errorf("%s FAILED: %s — %s", c.ID, c.Claim, c.Detail)
+		}
+	}
+	if !ScorecardPassed(checks) && !t.Failed() {
+		t.Fatal("ScorecardPassed inconsistent with individual checks")
+	}
+}
+
+func TestScorecardPassedHelper(t *testing.T) {
+	if !ScorecardPassed(nil) {
+		t.Fatal("empty scorecard should pass")
+	}
+	if ScorecardPassed([]Check{{Pass: true}, {Pass: false}}) {
+		t.Fatal("failing check not detected")
+	}
+	if !ScorecardPassed([]Check{{Pass: true}, {Pass: true}}) {
+		t.Fatal("all-pass not detected")
+	}
+}
+
+func TestScorecardDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	cfg := Config{Scale: Small, Seed: 99, Trials: 2}
+	a := Scorecard(cfg)
+	b := Scorecard(cfg)
+	if len(a) != len(b) {
+		t.Fatal("scorecard length varies")
+	}
+	for i := range a {
+		if a[i].Pass != b[i].Pass || a[i].Detail != b[i].Detail {
+			t.Fatalf("check %s not deterministic:\n%s\n%s", a[i].ID, a[i].Detail, b[i].Detail)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package gen
+
+// Additional random-graph models used as comparison topologies: the
+// Watts–Strogatz small world and the Barabási–Albert preferential
+// attachment graph. Neither appears in the paper itself, but both are
+// standard counterpoints to G(n,p) in the broadcast literature (high
+// clustering / heavy-tailed degrees respectively) and the examples use
+// them to show where the paper's random-graph assumptions matter.
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// WattsStrogatz returns a small-world graph: a ring lattice on n vertices
+// where each vertex connects to its k nearest neighbours on each side
+// (degree 2k), with each lattice edge rewired to a uniform random
+// endpoint with probability beta. beta = 0 is the pure lattice, beta = 1
+// approaches (but is not exactly) a random graph.
+func WattsStrogatz(n, k int, beta float64, rng *xrand.Rand) *graph.Graph {
+	if k < 1 || 2*k >= n {
+		panic(fmt.Sprintf("gen: WattsStrogatz requires 1 <= k < n/2, got k=%d n=%d", k, n))
+	}
+	if beta < 0 || beta > 1 {
+		panic("gen: WattsStrogatz beta out of [0,1]")
+	}
+	b := graph.NewBuilder(n)
+	b.Grow(n * k)
+	for v := 0; v < n; v++ {
+		for j := 1; j <= k; j++ {
+			w := (v + j) % n
+			if rng.Bernoulli(beta) {
+				// Rewire the far endpoint to a uniform non-self target.
+				// Collisions with existing edges are tolerated: Build
+				// dedups, which slightly lowers the edge count exactly as
+				// in the standard formulation.
+				w = rng.Intn(n)
+				for w == v {
+					w = rng.Intn(n)
+				}
+			}
+			b.AddEdge(int32(v), int32(w))
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: starting from a
+// small clique on m+1 vertices, each arriving vertex attaches m edges to
+// existing vertices chosen proportionally to their current degree (the
+// repeated-nodes trick keeps sampling O(1) per edge).
+func BarabasiAlbert(n, m int, rng *xrand.Rand) *graph.Graph {
+	if m < 1 || m >= n {
+		panic(fmt.Sprintf("gen: BarabasiAlbert requires 1 <= m < n, got m=%d n=%d", m, n))
+	}
+	b := graph.NewBuilder(n)
+	b.Grow(n * m)
+	// Repeated-node list: every edge endpoint appears once per incidence,
+	// so uniform sampling from it is degree-proportional sampling.
+	targets := make([]int32, 0, 2*n*m)
+	seed := m + 1
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			b.AddEdge(int32(u), int32(v))
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	for v := seed; v < n; v++ {
+		chosen := make(map[int32]bool, m)
+		for len(chosen) < m {
+			w := targets[rng.Intn(len(targets))]
+			chosen[w] = true
+		}
+		for w := range chosen {
+			b.AddEdge(int32(v), w)
+			targets = append(targets, int32(v), w)
+		}
+	}
+	return b.Build()
+}

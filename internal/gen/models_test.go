@@ -1,0 +1,147 @@
+package gen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta = 0: exact ring lattice, every vertex has degree 2k.
+	g := WattsStrogatz(50, 3, 0, xrand.New(1))
+	st := g.Degrees()
+	if st.Min != 6 || st.Max != 6 {
+		t.Fatalf("lattice degrees %+v, want all 6", st)
+	}
+	if g.M() != 150 {
+		t.Fatalf("lattice edges %d, want 150", g.M())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("lattice disconnected")
+	}
+	// High clustering is the small-world signature.
+	if c := graph.GlobalClustering(g); c < 0.5 {
+		t.Fatalf("lattice clustering %v, want >= 0.5", c)
+	}
+}
+
+func TestWattsStrogatzRewiringLowersClustering(t *testing.T) {
+	rng := xrand.New(2)
+	lattice := WattsStrogatz(400, 4, 0, rng)
+	rewired := WattsStrogatz(400, 4, 0.5, rng)
+	cl := graph.GlobalClustering(lattice)
+	cr := graph.GlobalClustering(rewired)
+	if cr >= cl {
+		t.Fatalf("rewiring did not lower clustering: %v -> %v", cl, cr)
+	}
+	// Rewiring shortens paths dramatically.
+	dl := graph.DiameterLower(lattice, 0)
+	dr := graph.DiameterLower(rewired, 0)
+	if dr >= dl {
+		t.Fatalf("rewiring did not shrink diameter: %d -> %d", dl, dr)
+	}
+}
+
+func TestWattsStrogatzPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { WattsStrogatz(10, 0, 0.1, xrand.New(1)) },
+		func() { WattsStrogatz(10, 5, 0.1, xrand.New(1)) },
+		func() { WattsStrogatz(10, 2, 1.5, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid WattsStrogatz did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBarabasiAlbertBasics(t *testing.T) {
+	rng := xrand.New(3)
+	const n = 2000
+	const m = 3
+	g := BarabasiAlbert(n, m, rng)
+	if g.N() != n {
+		t.Fatalf("n = %d", g.N())
+	}
+	// Edges: C(m+1,2) seed + m per arrival (minus rare dedups).
+	wantM := (m+1)*m/2 + (n-m-1)*m
+	if g.M() > wantM || g.M() < wantM-20 {
+		t.Fatalf("m = %d, want ~%d", g.M(), wantM)
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("BA graph disconnected")
+	}
+	st := g.Degrees()
+	if st.Min < m {
+		t.Fatalf("min degree %d below m=%d", st.Min, m)
+	}
+}
+
+func TestBarabasiAlbertHeavyTail(t *testing.T) {
+	rng := xrand.New(4)
+	const n = 3000
+	g := BarabasiAlbert(n, 2, rng)
+	degrees := make([]int, n)
+	for v := 0; v < n; v++ {
+		degrees[v] = g.Degree(int32(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degrees)))
+	mean := 2 * float64(g.M()) / n
+	// Scale-free signature: the max degree is far above the mean (G(n,p)
+	// with the same mean would have max ~ mean + few·sqrt(mean)).
+	if float64(degrees[0]) < 6*mean {
+		t.Fatalf("max degree %d not heavy-tailed (mean %.1f)", degrees[0], mean)
+	}
+}
+
+func TestBarabasiAlbertPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { BarabasiAlbert(10, 0, xrand.New(1)) },
+		func() { BarabasiAlbert(5, 5, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid BarabasiAlbert did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestModelsDeterministic(t *testing.T) {
+	a := WattsStrogatz(100, 2, 0.3, xrand.New(9))
+	b := WattsStrogatz(100, 2, 0.3, xrand.New(9))
+	if a.M() != b.M() {
+		t.Fatal("WattsStrogatz not deterministic")
+	}
+	c := BarabasiAlbert(100, 2, xrand.New(9))
+	d := BarabasiAlbert(100, 2, xrand.New(9))
+	if c.M() != d.M() {
+		t.Fatal("BarabasiAlbert not deterministic")
+	}
+}
+
+func TestWattsStrogatzFullRewire(t *testing.T) {
+	// beta = 1: still n·k edges (minus dedup), no self loops, connected
+	// with high probability at k=4.
+	g := WattsStrogatz(300, 4, 1, xrand.New(10))
+	if math.Abs(float64(g.M())-1200) > 60 {
+		t.Fatalf("fully rewired edges = %d, want ~1200", g.M())
+	}
+	for v := int32(0); v < 300; v++ {
+		for _, w := range g.Neighbors(v) {
+			if w == v {
+				t.Fatal("self loop after rewiring")
+			}
+		}
+	}
+}

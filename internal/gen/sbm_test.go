@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestSBMEdgeCounts(t *testing.T) {
+	rng := xrand.New(1)
+	const half = 800
+	const pIn = 0.02
+	const pOut = 0.002
+	g := TwoBlocks(2*half, pIn, pOut, rng)
+	if g.N() != 2*half {
+		t.Fatalf("n = %d", g.N())
+	}
+	intra, inter := 0, 0
+	g.Edges(func(u, v int32) bool {
+		if (u < half) == (v < half) {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	wantIntra := 2 * pIn * float64(half*(half-1)/2)
+	wantInter := pOut * float64(half) * float64(half)
+	if math.Abs(float64(intra)-wantIntra) > 0.15*wantIntra {
+		t.Fatalf("intra edges %d, want ~%.0f", intra, wantIntra)
+	}
+	if math.Abs(float64(inter)-wantInter) > 0.25*wantInter {
+		t.Fatalf("inter edges %d, want ~%.0f", inter, wantInter)
+	}
+}
+
+func TestSBMExtremes(t *testing.T) {
+	rng := xrand.New(2)
+	// pOut = 0: two disconnected G(n,p) blocks.
+	g := TwoBlocks(200, 0.1, 0, rng)
+	comps := graph.Components(g)
+	if len(comps) < 2 {
+		t.Fatalf("pOut=0 gave %d components", len(comps))
+	}
+	// pIn = pOut = p reduces to G(n,p): degree concentration check.
+	g = TwoBlocks(1000, 0.02, 0.02, rng)
+	st := g.Degrees()
+	if math.Abs(st.Mean-0.02*999) > 3 {
+		t.Fatalf("uniform SBM mean degree %v, want ~20", st.Mean)
+	}
+	// pOut = 1 crosses every pair.
+	g = SBM([]int{3, 4}, 0, 1, rng)
+	if g.M() != 12 {
+		t.Fatalf("complete bipartite edges %d, want 12", g.M())
+	}
+}
+
+func TestSBMMultiBlock(t *testing.T) {
+	rng := xrand.New(3)
+	g := SBM([]int{100, 200, 300}, 0.1, 0.01, rng)
+	if g.N() != 600 {
+		t.Fatalf("n = %d", g.N())
+	}
+	if !graph.IsConnected(g) {
+		t.Fatal("dense SBM disconnected")
+	}
+}
+
+func TestSBMEmptyBlocks(t *testing.T) {
+	rng := xrand.New(4)
+	g := SBM([]int{0, 10, 0}, 0.5, 0.5, rng)
+	if g.N() != 10 {
+		t.Fatalf("n = %d", g.N())
+	}
+}
+
+func TestSBMPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { SBM([]int{10}, 1.5, 0, xrand.New(1)) },
+		func() { SBM([]int{-1}, 0.5, 0.5, xrand.New(1)) },
+		func() { TwoBlocks(1, 0.5, 0.5, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid SBM did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSBMDeterministic(t *testing.T) {
+	a := TwoBlocks(300, 0.05, 0.01, xrand.New(7))
+	b := TwoBlocks(300, 0.05, 0.01, xrand.New(7))
+	if a.M() != b.M() {
+		t.Fatal("SBM not deterministic")
+	}
+}

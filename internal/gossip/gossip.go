@@ -1,0 +1,192 @@
+// Package gossip implements GOSSIPING (all-to-all broadcast) in the radio
+// model — the natural follow-up problem the paper's conclusions point to
+// ("open problems" in radio communication in random graphs): every node
+// starts with its own rumor, transmissions carry every rumor the sender
+// currently knows, and the task completes when every node knows every
+// rumor.
+//
+// Collision semantics are identical to broadcasting (package radio): a
+// listening node receives the transmission iff exactly one of its
+// neighbours transmits.
+//
+// The package provides the simulation engine plus three protocols:
+//
+//   - RoundRobin: node v transmits alone in rounds ≡ v (mod n);
+//     collision-free, completes in ≤ n·D rounds on any connected graph.
+//   - Uniform(q): every node transmits with probability q each round (the
+//     gossip analogue of the paper's 1/d-selective rounds).
+//   - Phased: flooding for the first few rounds (spread the union fast in
+//     sparse neighbourhoods), then Uniform(1/d) — the direct adaptation
+//     of the paper's Theorem 7 protocol to gossiping.
+//
+// Experiment E13 measures these on G(n,p): random-graph gossiping with
+// q = 1/d completes in O(n/d + ln n)·polylog-ish time in practice because
+// each clean reception merges whole rumor sets; the experiment records
+// the measured shape.
+package gossip
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// Protocol decides whether node v transmits in a round of gossiping.
+type Protocol interface {
+	Transmit(v int32, round int, rng *xrand.Rand) bool
+}
+
+// ProtocolFunc adapts a function to Protocol.
+type ProtocolFunc func(v int32, round int, rng *xrand.Rand) bool
+
+// Transmit implements Protocol.
+func (f ProtocolFunc) Transmit(v int32, round int, rng *xrand.Rand) bool {
+	return f(v, round, rng)
+}
+
+// RoundRobin is the collision-free deterministic baseline.
+type RoundRobin struct{ N int }
+
+// Transmit implements Protocol.
+func (r RoundRobin) Transmit(v int32, round int, rng *xrand.Rand) bool {
+	return int32((round-1)%r.N) == v
+}
+
+// Uniform transmits with a fixed probability every round.
+type Uniform struct{ Q float64 }
+
+// Transmit implements Protocol.
+func (u Uniform) Transmit(v int32, round int, rng *xrand.Rand) bool {
+	return rng.Bernoulli(u.Q)
+}
+
+// Phased floods for FloodRounds rounds and then behaves like Uniform(Q) —
+// the gossiping analogue of the paper's distributed broadcast protocol.
+type Phased struct {
+	FloodRounds int
+	Q           float64
+}
+
+// Transmit implements Protocol.
+func (p Phased) Transmit(v int32, round int, rng *xrand.Rand) bool {
+	if round <= p.FloodRounds {
+		return true
+	}
+	return rng.Bernoulli(p.Q)
+}
+
+// NewPhased returns the Phased protocol sized for a graph with n nodes and
+// expected degree d, mirroring NewDistributedProtocol's phase lengths.
+func NewPhased(n int, d float64) Phased {
+	if d < 2 {
+		d = 2
+	}
+	f := 0
+	if n > 2 {
+		f = int(math.Floor(math.Log(float64(n)) / math.Log(d)))
+	}
+	if f < 1 {
+		f = 1
+	}
+	return Phased{FloodRounds: f, Q: 1 / d}
+}
+
+// Result reports a gossip run.
+type Result struct {
+	Completed bool
+	Rounds    int
+	// KnownTotal is the sum over nodes of rumors known at the end (n²
+	// when complete).
+	KnownTotal int64
+	// MinKnown is the smallest per-node rumor count at the end.
+	MinKnown int
+}
+
+// Run simulates gossiping on g under protocol p for at most maxRounds
+// rounds. Every node starts knowing exactly its own rumor. Rumor sets are
+// merged on every clean reception.
+//
+// Memory is one n-bit set per node (n²/8 bytes total): n = 16384 needs
+// 32 MiB. Completion requires g to be connected.
+func Run(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	n := g.N()
+	know := make([]*bitset.Set, n)
+	counts := make([]int, n)
+	for v := range know {
+		know[v] = bitset.New(n)
+		know[v].Set(v)
+		counts[v] = 1
+	}
+	complete := 0 // nodes knowing all rumors
+	if n == 1 {
+		complete = 1
+	}
+
+	tx := make([]int32, 0, n)
+	hits := make([]int32, n)
+	from := make([]int32, n) // sole transmitting neighbour per receiver
+	var touched []int32
+	round := 0
+	for round < maxRounds && complete < n {
+		round++
+		tx = tx[:0]
+		for v := 0; v < n; v++ {
+			if p.Transmit(int32(v), round, rng) {
+				tx = append(tx, int32(v))
+			}
+		}
+		for _, v := range tx {
+			for _, w := range g.Neighbors(v) {
+				if hits[w] == 0 {
+					touched = append(touched, w)
+				}
+				hits[w]++
+				from[w] = v
+			}
+		}
+		inTx := make(map[int32]bool, len(tx))
+		for _, v := range tx {
+			inTx[v] = true
+		}
+		for _, w := range touched {
+			if hits[w] == 1 && !inTx[w] {
+				src := from[w]
+				if counts[w] < n {
+					know[w].Union(know[src])
+					c := know[w].Count()
+					if c == n && counts[w] != n {
+						complete++
+					}
+					counts[w] = c
+				}
+			}
+			hits[w] = 0
+		}
+		touched = touched[:0]
+	}
+
+	res := Result{Completed: complete == n, Rounds: round, MinKnown: n}
+	for _, c := range counts {
+		res.KnownTotal += int64(c)
+		if c < res.MinKnown {
+			res.MinKnown = c
+		}
+	}
+	if n == 0 {
+		res.MinKnown = 0
+		res.Completed = true
+	}
+	return res
+}
+
+// Time runs the protocol and returns the completion round, or maxRounds+1
+// if gossiping did not finish.
+func Time(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand) int {
+	res := Run(g, p, maxRounds, rng)
+	if !res.Completed {
+		return maxRounds + 1
+	}
+	return res.Rounds
+}

@@ -1,0 +1,260 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func connected(t testing.TB, n int, d float64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, _, ok := gen.ConnectedGnp(n, gen.PForDegree(n, d), xrand.New(seed), 50)
+	if !ok {
+		t.Fatalf("no connected sample")
+	}
+	return g
+}
+
+func TestRoundRobinGossipCompletes(t *testing.T) {
+	const n = 60
+	g := connected(t, n, 8, 1)
+	rng := xrand.New(2)
+	diam := graph.Diameter(g)
+	res := Run(g, RoundRobin{N: n}, n*(diam+2), rng)
+	if !res.Completed {
+		t.Fatalf("round-robin gossip incomplete: min known %d", res.MinKnown)
+	}
+	if res.KnownTotal != int64(n)*int64(n) {
+		t.Fatalf("KnownTotal = %d, want %d", res.KnownTotal, n*n)
+	}
+}
+
+func TestUniformGossipCompletesOnGnp(t *testing.T) {
+	const n = 300
+	d := 2 * math.Log(n)
+	g := connected(t, n, d, 3)
+	rng := xrand.New(4)
+	res := Run(g, Uniform{Q: 1 / d}, 100000, rng)
+	if !res.Completed {
+		t.Fatalf("uniform gossip incomplete: min known %d/%d", res.MinKnown, n)
+	}
+}
+
+func TestPhasedGossipCompletesAndBeatsRoundRobin(t *testing.T) {
+	const n = 400
+	d := 2 * math.Log(n)
+	g := connected(t, n, d, 5)
+	phased := Time(g, NewPhased(n, d), 100000, xrand.New(6))
+	rr := Time(g, RoundRobin{N: n}, 100000, xrand.New(7))
+	if phased > 100000 || rr > 100000 {
+		t.Fatalf("incomplete: phased=%d rr=%d", phased, rr)
+	}
+	if phased >= rr {
+		t.Fatalf("phased gossip (%d) not faster than round robin (%d)", phased, rr)
+	}
+}
+
+func TestGossipOnCompleteGraph(t *testing.T) {
+	// On K_n with one transmitter per round (round robin), after each
+	// node transmits once everyone knows everything: exactly n rounds
+	// (the n-th transmission is still needed for the last rumor).
+	const n = 20
+	g := gen.Complete(n)
+	rng := xrand.New(8)
+	res := Run(g, RoundRobin{N: n}, 5*n, rng)
+	if !res.Completed {
+		t.Fatal("incomplete on K_n")
+	}
+	if res.Rounds != n {
+		t.Fatalf("K_n round-robin gossip took %d rounds, want exactly %d", res.Rounds, n)
+	}
+}
+
+func TestGossipFloodingStalls(t *testing.T) {
+	// Everyone transmitting every round: all receivers with degree >= 2
+	// collide forever on G(n,p); rumor counts stay at 1 for most nodes.
+	const n = 200
+	g := connected(t, n, 12, 9)
+	rng := xrand.New(10)
+	res := Run(g, Uniform{Q: 1}, 500, rng)
+	if res.Completed {
+		t.Fatal("permanent flooding should not complete gossip")
+	}
+}
+
+func TestGossipPathSmall(t *testing.T) {
+	g := gen.Path(5)
+	rng := xrand.New(11)
+	res := Run(g, RoundRobin{N: 5}, 200, rng)
+	if !res.Completed {
+		t.Fatalf("path gossip incomplete: %+v", res)
+	}
+	// Information from each end must cross the whole path: at least
+	// 2·(diameter) rounds are information-theoretically required; round
+	// robin needs more.
+	if res.Rounds < 8 {
+		t.Fatalf("path gossip finished impossibly fast: %d", res.Rounds)
+	}
+}
+
+func TestGossipSingletonAndEmpty(t *testing.T) {
+	rng := xrand.New(12)
+	res := Run(graph.NewBuilder(1).Build(), RoundRobin{N: 1}, 10, rng)
+	if !res.Completed || res.Rounds != 0 {
+		t.Fatalf("singleton gossip: %+v", res)
+	}
+	res = Run(graph.NewBuilder(0).Build(), RoundRobin{N: 1}, 10, rng)
+	if !res.Completed {
+		t.Fatalf("empty gossip: %+v", res)
+	}
+}
+
+func TestTimeSentinel(t *testing.T) {
+	b := graph.NewBuilder(2) // disconnected: can never complete
+	g := b.Build()
+	rng := xrand.New(13)
+	if got := Time(g, RoundRobin{N: 2}, 10, rng); got != 11 {
+		t.Fatalf("sentinel = %d", got)
+	}
+}
+
+func TestNewPhasedShape(t *testing.T) {
+	p := NewPhased(100000, 20)
+	if p.FloodRounds < 2 || p.FloodRounds > 5 {
+		t.Fatalf("flood rounds = %d", p.FloodRounds)
+	}
+	if p.Q != 1.0/20 {
+		t.Fatalf("Q = %v", p.Q)
+	}
+	p = NewPhased(2, 1)
+	if p.FloodRounds < 1 || p.Q != 0.5 {
+		t.Fatalf("degenerate phased: %+v", p)
+	}
+}
+
+func TestKnowledgeMonotone(t *testing.T) {
+	// Property: rumor counts never decrease and the origin rumor is never
+	// lost — checked by instrumenting a short run.
+	const n = 100
+	g := connected(t, n, 10, 14)
+	rng := xrand.New(15)
+	// Run twice with the same seed but different budgets: the longer run
+	// must dominate the shorter in KnownTotal.
+	short := Run(g, Uniform{Q: 0.1}, 20, xrand.New(16))
+	long := Run(g, Uniform{Q: 0.1}, 40, xrand.New(16))
+	if long.KnownTotal < short.KnownTotal {
+		t.Fatalf("knowledge decreased: %d -> %d", short.KnownTotal, long.KnownTotal)
+	}
+	_ = rng
+}
+
+func BenchmarkPhasedGossip(b *testing.B) {
+	const n = 1000
+	d := 2 * math.Log(n)
+	g := connected(b, n, d, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.New(uint64(i))
+		res := Run(g, NewPhased(n, d), 100000, rng)
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// referenceGossipRound is a naive oracle for one gossip round: given
+// per-node rumor sets and the transmitter set, return the updated rumor
+// sets under the radio semantics.
+func referenceGossipRound(g *graph.Graph, know [][]bool, tx []int32) [][]bool {
+	n := g.N()
+	inTx := make(map[int32]bool)
+	for _, v := range tx {
+		inTx[v] = true
+	}
+	next := make([][]bool, n)
+	for v := range next {
+		next[v] = append([]bool{}, know[v]...)
+	}
+	for w := 0; w < n; w++ {
+		if inTx[int32(w)] {
+			continue
+		}
+		var sender int32 = -1
+		count := 0
+		for _, nb := range g.Neighbors(int32(w)) {
+			if inTx[nb] {
+				count++
+				sender = nb
+			}
+		}
+		if count == 1 {
+			for m, has := range know[sender] {
+				if has {
+					next[w][m] = true
+				}
+			}
+		}
+	}
+	return next
+}
+
+// scriptedGossip transmits according to a precomputed per-round set.
+type scriptedGossip struct{ rounds [][]int32 }
+
+func (s scriptedGossip) Transmit(v int32, round int, rng *xrand.Rand) bool {
+	if round-1 >= len(s.rounds) {
+		return false
+	}
+	for _, u := range s.rounds[round-1] {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestGossipMatchesReferenceImplementation(t *testing.T) {
+	rng := xrand.New(99)
+	for trial := 0; trial < 15; trial++ {
+		n := 5 + rng.Intn(25)
+		g := gen.Gnp(n, 0.3, rng)
+		// Script random transmitter sets.
+		const rounds = 10
+		script := make([][]int32, rounds)
+		for r := range script {
+			script[r] = rng.Sample(n, 1+rng.Intn(n))
+		}
+		res := Run(g, scriptedGossip{script}, rounds, xrand.New(1))
+
+		// Reference trajectory.
+		know := make([][]bool, n)
+		for v := range know {
+			know[v] = make([]bool, n)
+			know[v][v] = true
+		}
+		for r := 0; r < rounds; r++ {
+			know = referenceGossipRound(g, know, script[r])
+		}
+		var wantTotal int64
+		wantMin := n
+		for v := range know {
+			c := 0
+			for _, has := range know[v] {
+				if has {
+					c++
+				}
+			}
+			wantTotal += int64(c)
+			if c < wantMin {
+				wantMin = c
+			}
+		}
+		if res.KnownTotal != wantTotal || res.MinKnown != wantMin {
+			t.Fatalf("trial %d: engine (total=%d min=%d) != reference (total=%d min=%d)",
+				trial, res.KnownTotal, res.MinKnown, wantTotal, wantMin)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// repository: an immutable compressed-sparse-row (CSR) adjacency structure,
+// a builder that deduplicates edges, and the traversal and measurement
+// primitives (BFS, layer decomposition, connectivity, eccentricity, degree
+// statistics, joint-neighbour counts) needed by the radio-broadcasting
+// algorithms and the structural experiments of Lemmas 3 and 4.
+//
+// Vertices are identified by int32 indices in [0, N()). Graphs are simple
+// (no self-loops, no parallel edges) and undirected: each edge {u, v}
+// appears in both adjacency lists.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable simple undirected graph in CSR form. Memory use is
+// 4 bytes per directed arc plus 8 bytes per vertex, so graphs with tens of
+// millions of edges fit comfortably in RAM.
+type Graph struct {
+	offsets []int64 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32 // sorted neighbour lists, concatenated
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of vertex v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u, v} is an edge, in O(log deg) time.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nb := g.Neighbors(u)
+	i := sort.Search(len(nb), func(i int) bool { return nb[i] >= v })
+	return i < len(nb) && nb[i] == v
+}
+
+// Edges calls fn once per undirected edge with u < v. If fn returns false,
+// iteration stops.
+func (g *Graph) Edges(fn func(u, v int32) bool) {
+	for u := int32(0); int(u) < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if v <= u {
+				continue
+			}
+			if !fn(u, v) {
+				return
+			}
+		}
+	}
+}
+
+// String returns a short description such as "graph(n=100, m=512)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.N(), g.M())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are silently dropped at Build time, so generators
+// may add candidate edges without pre-deduplication.
+type Builder struct {
+	n     int
+	edges []edge
+}
+
+type edge struct{ u, v int32 }
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the number of vertices the builder was created with.
+func (b *Builder) N() int { return b.n }
+
+// Grow reserves capacity for m additional edges.
+func (b *Builder) Grow(m int) {
+	if cap(b.edges)-len(b.edges) < m {
+		grown := make([]edge, len(b.edges), len(b.edges)+m)
+		copy(grown, b.edges)
+		b.edges = grown
+	}
+}
+
+// AddEdge records the undirected edge {u, v}. Self-loops are ignored. It
+// panics if either endpoint is out of range.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, edge{u, v})
+}
+
+// EdgeCount returns the number of edges recorded so far (before dedup).
+func (b *Builder) EdgeCount() int { return len(b.edges) }
+
+// Build produces the immutable graph and leaves the builder reusable (its
+// edge list is consumed).
+func (b *Builder) Build() *Graph {
+	// Sort edges to deduplicate; (u,v) already normalised with u < v.
+	sort.Slice(b.edges, func(i, j int) bool {
+		if b.edges[i].u != b.edges[j].u {
+			return b.edges[i].u < b.edges[j].u
+		}
+		return b.edges[i].v < b.edges[j].v
+	})
+	dedup := b.edges[:0]
+	var prev edge = edge{-1, -1}
+	for _, e := range b.edges {
+		if e != prev {
+			dedup = append(dedup, e)
+			prev = e
+		}
+	}
+
+	deg := make([]int64, b.n+1)
+	for _, e := range dedup {
+		deg[e.u+1]++
+		deg[e.v+1]++
+	}
+	offsets := deg
+	for i := 1; i <= b.n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	adj := make([]int32, offsets[b.n])
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for _, e := range dedup {
+		adj[cursor[e.u]] = e.v
+		cursor[e.u]++
+		adj[cursor[e.v]] = e.u
+		cursor[e.v]++
+	}
+	// Each adjacency list is already sorted: we insert v-neighbours of u in
+	// increasing v order for the u < v half, but the v > u half arrives in
+	// increasing u order interleaved, so sort per list to be safe.
+	g := &Graph{offsets: offsets, adj: adj}
+	for v := int32(0); int(v) < b.n; v++ {
+		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+		if !sorted32(nb) {
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	}
+	b.edges = nil
+	return g
+}
+
+func sorted32(s []int32) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FromEdges constructs a graph on n vertices from an explicit edge list.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	b.Grow(len(edges))
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Subgraph returns the induced subgraph on the given vertices together with
+// the mapping from new indices to original vertex ids. Vertices may be
+// listed in any order; duplicates are rejected.
+func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
+	index := make(map[int32]int32, len(vertices))
+	orig := make([]int32, len(vertices))
+	for i, v := range vertices {
+		if _, dup := index[v]; dup {
+			panic("graph: duplicate vertex in Subgraph")
+		}
+		index[v] = int32(i)
+		orig[i] = v
+	}
+	b := NewBuilder(len(vertices))
+	for i, v := range vertices {
+		for _, w := range g.Neighbors(v) {
+			if j, ok := index[w]; ok && int32(i) < j {
+				b.AddEdge(int32(i), j)
+			}
+		}
+	}
+	return b.Build(), orig
+}
+
+// DegreeStats summarises the degree sequence of a graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// Degrees returns the degree statistics of g. For the empty graph all
+// fields are zero.
+func (g *Graph) Degrees() DegreeStats {
+	n := g.N()
+	if n == 0 {
+		return DegreeStats{}
+	}
+	st := DegreeStats{Min: g.Degree(0), Max: g.Degree(0)}
+	total := 0
+	for v := int32(0); int(v) < n; v++ {
+		d := g.Degree(v)
+		total += d
+		if d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+	}
+	st.Mean = float64(total) / float64(n)
+	return st
+}

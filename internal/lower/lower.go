@@ -1,0 +1,303 @@
+// Package lower provides the empirical lower-bound harnesses for Theorems
+// 6 and 8 of the paper.
+//
+// Asymptotic lower bounds cannot be "run", so each is replaced by the
+// strongest finite-size evidence available:
+//
+//   - Eccentricity: a true lower bound — no broadcast finishes before the
+//     source's eccentricity, giving the ln n / ln d term of Theorem 6.
+//   - GreedyAdaptiveSchedule: an aggressive full-knowledge adversary that
+//     each round picks a transmit set greedily maximising the number of
+//     newly informed nodes. It is at least as fast as any schedule a
+//     simple constructive argument produces; if even this schedule needs
+//     Ω(ln n/ln d + ln d) rounds and the ratio to the bound is stable in
+//     n, Theorem 6's shape is corroborated (experiment E3).
+//   - SurvivorProbe: a direct Monte-Carlo of the counting core of the
+//     Theorem 6 proof for p = 1/2 — random sequences of disjoint
+//     transmit sets of size 1 or 2 leave a "survivor" (a node that hears
+//     only silence or collisions) unless the sequence length reaches
+//     Θ(log n).
+//   - SequenceProtocol + OptimizeSequence: Theorem 8 restricts protocols
+//     to decisions computable from (n, p, t); such a protocol is exactly a
+//     transmit-probability sequence q_t shared by all informed nodes. The
+//     optimizer searches a broad family of sequences and reports the best
+//     completion time found, which should still be Ω(ln n) (experiment
+//     E6).
+package lower
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Eccentricity returns the true topological lower bound on broadcast time
+// from src: the BFS eccentricity of the source.
+func Eccentricity(g *graph.Graph, src int32) int {
+	return graph.Eccentricity(g, src)
+}
+
+// GreedyAdaptiveSchedule builds a broadcast schedule with an adaptive
+// greedy adversary: each round it starts from the empty transmit set and
+// repeatedly adds the informed node with the highest positive marginal
+// gain in newly informed nodes (accounting for the collisions each
+// addition introduces) until no addition helps. The returned value is the
+// number of rounds to full broadcast, along with the schedule itself.
+//
+// The greedy gain computation makes this O(rounds · informed · deg²) in
+// the worst case; intended for the small-to-medium instances of E3.
+func GreedyAdaptiveSchedule(g *graph.Graph, src int32, maxRounds int) (*radio.Schedule, radio.Result, error) {
+	e := radio.NewEngine(g, src, radio.StrictInformed)
+	sched := &radio.Schedule{}
+	n := g.N()
+	hits := make([]int32, n) // current transmit set's neighbour counts
+	var touched []int32
+	for !e.Done() && e.RoundCount() < maxRounds {
+		// Build this round's set greedily.
+		var set []int32
+		inSet := make(map[int32]bool)
+		for {
+			var best int32 = -1
+			bestGain := 0
+			for v := 0; v < n; v++ {
+				vv := int32(v)
+				if !e.Informed(vv) || inSet[vv] {
+					continue
+				}
+				gain := 0
+				for _, w := range g.Neighbors(vv) {
+					if e.Informed(w) || inSet[w] {
+						continue // already informed, or will transmit (cannot listen)
+					}
+					switch hits[w] {
+					case 0:
+						gain++
+					case 1:
+						gain--
+					}
+				}
+				// Losing a currently-clean receiver because it joins the
+				// transmit set is impossible here since we only consider
+				// informed candidates and receivers are uninformed.
+				if gain > bestGain {
+					best, bestGain = vv, gain
+				}
+			}
+			if best < 0 {
+				break
+			}
+			inSet[best] = true
+			set = append(set, best)
+			for _, w := range g.Neighbors(best) {
+				if hits[w] == 0 {
+					touched = append(touched, w)
+				}
+				hits[w]++
+			}
+		}
+		// Reset scratch.
+		for _, w := range touched {
+			hits[w] = 0
+		}
+		touched = touched[:0]
+		if len(set) == 0 {
+			// No positive-gain transmitter: every uninformed node adjacent
+			// to the informed set has >= 2 informed neighbours whichever
+			// single node we pick... transmit the single best anyway to
+			// guarantee progress? A singleton always has non-negative
+			// gain; gain 0 means its uninformed neighbours are each
+			// adjacent to it alone yet gain computed 0 — impossible unless
+			// no uninformed neighbours exist anywhere. Pick any informed
+			// node with an uninformed neighbour two hops away cannot help
+			// this round; transmit the full frontier to make the engine
+			// advance the round.
+			set = e.AppendInformed(nil)
+		}
+		owned := make([]int32, len(set))
+		copy(owned, set)
+		sched.Sets = append(sched.Sets, owned)
+		if _, err := e.Round(owned); err != nil {
+			return nil, radio.Result{}, err
+		}
+	}
+	res := radio.Result{
+		Completed:  e.Done(),
+		Rounds:     e.RoundCount(),
+		Informed:   e.InformedCount(),
+		N:          n,
+		InformedAt: e.InformedTimes(),
+		Stats:      e.Stats(),
+	}
+	return sched, res, nil
+}
+
+// SurvivorProbe Monte-Carlos the counting core of the Theorem 6 proof at
+// p = 1/2. For each trial it samples, over a fresh G(n, 1/2)-style edge
+// indicator per (node, set) pair, a sequence of k disjoint transmit sets
+// of size 1 or 2 (as the proof reduces every schedule to), and counts the
+// nodes that survive all k rounds uninformed: a node survives a 1-set by
+// having no edge to it (probability 1/2) and a 2-set by having edges to
+// both members (collision, probability 1/4) or neither (silence, 1/4).
+//
+// Because edges to distinct disjoint sets are independent, the survival
+// indicator per node is an independent product — the probe samples it
+// directly rather than materialising the graph, matching the proof's
+// calculation. It returns the fraction of trials in which at least one of
+// n nodes survives k rounds.
+func SurvivorProbe(n, k, trials int, pairFraction float64, rng *xrand.Rand) float64 {
+	if trials <= 0 {
+		return math.NaN()
+	}
+	surviveTrials := 0
+	for t := 0; t < trials; t++ {
+		found := false
+		for v := 0; v < n && !found; v++ {
+			alive := true
+			for i := 0; i < k; i++ {
+				if rng.Float64() < pairFraction {
+					// 2-set: survive iff both or neither edge present.
+					e1 := rng.Bool()
+					e2 := rng.Bool()
+					if e1 != e2 {
+						alive = false
+						break
+					}
+				} else {
+					// 1-set: survive iff no edge.
+					if rng.Bool() {
+						alive = false
+						break
+					}
+				}
+			}
+			if alive {
+				found = true
+			}
+		}
+		if found {
+			surviveTrials++
+		}
+	}
+	return float64(surviveTrials) / float64(trials)
+}
+
+// SurvivorThreshold returns the smallest k for which the survivor
+// probability drops below 0.5, scanned by doubling then binary search.
+// Theorem 6 predicts the threshold grows as Θ(log n).
+func SurvivorThreshold(n, trials int, pairFraction float64, rng *xrand.Rand) int {
+	lo, hi := 1, 2
+	for SurvivorProbe(n, hi, trials, pairFraction, rng) >= 0.5 {
+		lo = hi
+		hi *= 2
+		if hi > 1<<20 {
+			return hi
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if SurvivorProbe(n, mid, trials, pairFraction, rng) >= 0.5 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// SequenceProtocol is the most general protocol allowed by Theorem 8's
+// model: every informed node transmits in round t with probability
+// Q[(t-1) mod len(Q)], a function of (n, p, t) only.
+type SequenceProtocol struct {
+	Q []float64
+}
+
+// Transmit implements radio.Protocol.
+func (s *SequenceProtocol) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	if len(s.Q) == 0 {
+		return false
+	}
+	return rng.Bernoulli(s.Q[(round-1)%len(s.Q)])
+}
+
+var _ radio.Protocol = (*SequenceProtocol)(nil)
+
+// CandidateSequences returns a broad family of transmit-probability
+// sequences for a graph with expected degree d: constants at several
+// scales, decay cycles (the BGI pattern), ramps, and two-phase
+// flood-then-select patterns. The optimizer evaluates them all.
+func CandidateSequences(d float64, period int) []*SequenceProtocol {
+	if period < 1 {
+		period = 1
+	}
+	var out []*SequenceProtocol
+	constant := func(q float64) *SequenceProtocol {
+		qs := make([]float64, 1)
+		qs[0] = q
+		return &SequenceProtocol{Q: qs}
+	}
+	for _, q := range []float64{1, 0.5, 0.25, 1 / math.Sqrt(d), 1 / d, 1 / (2 * d), 1 / (d * d)} {
+		if q > 0 && q <= 1 {
+			out = append(out, constant(q))
+		}
+	}
+	// Decay cycle: 1, 1/2, 1/4, ..., over the period.
+	decay := make([]float64, period)
+	for i := range decay {
+		decay[i] = math.Pow(2, -float64(i))
+	}
+	out = append(out, &SequenceProtocol{Q: decay})
+	// Ramp up: 1/d ... 1.
+	ramp := make([]float64, period)
+	for i := range ramp {
+		frac := float64(i) / float64(period)
+		ramp[i] = math.Max(1/d, 1-frac)
+	}
+	out = append(out, &SequenceProtocol{Q: ramp})
+	// Flood phase then 1/d: mimics the paper's protocol obliviously.
+	for _, floodLen := range []int{1, 2, 3, 5} {
+		if floodLen >= period {
+			continue
+		}
+		q := make([]float64, period)
+		for i := range q {
+			if i < floodLen {
+				q[i] = 1
+			} else {
+				q[i] = 1 / d
+			}
+		}
+		// Non-cyclic intent: pad with 1/d by using a long period.
+		long := make([]float64, 4*period)
+		copy(long, q)
+		for i := period; i < len(long); i++ {
+			long[i] = 1 / d
+		}
+		out = append(out, &SequenceProtocol{Q: long})
+	}
+	return out
+}
+
+// OptimizeSequence evaluates every candidate sequence on the graph over
+// the given number of trials and returns the best (smallest) mean
+// completion time found and the protocol achieving it. Incomplete runs
+// count as maxRounds+1.
+func OptimizeSequence(g *graph.Graph, src int32, d float64, maxRounds, trials int, rng *xrand.Rand) (float64, *SequenceProtocol) {
+	period := int(math.Ceil(math.Log2(float64(g.N()) + 2)))
+	cands := CandidateSequences(d, period)
+	best := math.Inf(1)
+	var bestP *SequenceProtocol
+	for _, p := range cands {
+		total := 0.0
+		for t := 0; t < trials; t++ {
+			total += float64(radio.BroadcastTime(g, src, p, maxRounds, rng.Derive(uint64(t))))
+		}
+		mean := total / float64(trials)
+		if mean < best {
+			best = mean
+			bestP = p
+		}
+	}
+	return best, bestP
+}

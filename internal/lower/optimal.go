@@ -1,0 +1,95 @@
+package lower
+
+// Exact optimal broadcast schedules for tiny graphs, by breadth-first
+// search over information states. The state is the bitmask of informed
+// vertices; a transition transmits any subset S of the informed set, and
+// the radio semantics inform exactly the listeners with exactly one
+// neighbour in S. The minimum number of rounds to reach the full mask is
+// the true optimum OPT(g, src) over ALL schedules.
+//
+// The search touches at most 3^n (state, subset) pairs, so it is limited
+// to n <= MaxOptimalN vertices; experiment E14 uses it to certify that
+// the greedy adversary of GreedyAdaptiveSchedule is within a small
+// additive constant of optimal, which in turn grounds the Theorem 6
+// evidence of experiment E3.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// MaxOptimalN bounds the exhaustive search. 3^16·16 ≈ 7·10^8 basic
+// operations is the practical single-core ceiling.
+const MaxOptimalN = 16
+
+// OptimalBroadcastTime returns the exact minimum number of rounds needed
+// to broadcast from src on g under the radio model, over all centralized
+// schedules. It returns an error if g has more than MaxOptimalN vertices
+// or src cannot reach every vertex.
+func OptimalBroadcastTime(g *graph.Graph, src int32) (int, error) {
+	n := g.N()
+	if n > MaxOptimalN {
+		return 0, fmt.Errorf("lower: OptimalBroadcastTime limited to n <= %d, got %d", MaxOptimalN, n)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("lower: empty graph")
+	}
+	dist := graph.Distances(g, src)
+	for v, dv := range dist {
+		if dv == graph.Unreachable {
+			return 0, fmt.Errorf("lower: vertex %d unreachable from %d", v, src)
+		}
+	}
+	nbr := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		var m uint32
+		for _, w := range g.Neighbors(int32(v)) {
+			m |= 1 << uint(w)
+		}
+		nbr[v] = m
+	}
+	full := uint32(1)<<uint(n) - 1
+	start := uint32(1) << uint(src)
+	if start == full {
+		return 0, nil
+	}
+
+	depth := make([]int8, full+1)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[start] = 0
+	queue := []uint32{start}
+	for head := 0; head < len(queue); head++ {
+		state := queue[head]
+		d := depth[state]
+		// Enumerate non-empty subsets S of the informed set.
+		for s := state; s != 0; s = (s - 1) & state {
+			// ones: nodes with >= 1 transmitting neighbour;
+			// twos: nodes with >= 2.
+			var ones, twos uint32
+			rem := s
+			for rem != 0 {
+				v := bits.TrailingZeros32(rem)
+				rem &= rem - 1
+				twos |= ones & nbr[v]
+				ones |= nbr[v]
+			}
+			newly := (ones &^ twos) &^ state &^ s
+			if newly == 0 {
+				continue
+			}
+			next := state | newly
+			if depth[next] < 0 {
+				depth[next] = d + 1
+				if next == full {
+					return int(d + 1), nil
+				}
+				queue = append(queue, next)
+			}
+		}
+	}
+	return 0, fmt.Errorf("lower: full state unreachable (internal error)")
+}

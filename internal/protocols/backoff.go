@@ -1,0 +1,81 @@
+package protocols
+
+// Backoff: a knowledge-free distributed broadcast protocol for the
+// collision-detection model. The paper's Theorem 7 protocol needs every
+// node to know n and p; Backoff needs NOTHING — each informed node keeps
+// a private transmit probability and adapts it AIMD-style from what it
+// hears:
+//
+//   - heard a collision  → too much local activity → halve own rate;
+//   - heard clean silence → too little             → double own rate;
+//   - heard a message or transmitted               → keep the rate.
+//
+// The per-node rate converges to ≈ 1/(local informed degree), which is
+// what the paper's protocol sets globally to 1/d from its knowledge of p.
+// Experiment E19 compares the two: collision detection buys back the need
+// for global knowledge at a constant-factor cost.
+
+import (
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Backoff implements radio.FeedbackProtocol with per-node adapted rates.
+// A Backoff instance holds per-node state, so use one instance per run.
+type Backoff struct {
+	// InitialP is the transmit probability right after being informed
+	// (default 1: shout once, then adapt).
+	InitialP float64
+	// MaxP caps the adapted rate BELOW 1 (default 1/2). The cap is what
+	// makes the protocol live: a node transmitting with probability 1
+	// never listens, so it would never observe a collision and never back
+	// off — the whole network can deadlock in an all-transmit loop.
+	MaxP float64
+	// MinP floors the rate so a node never silences itself permanently.
+	MinP float64
+	rate []float64
+}
+
+// NewBackoff returns a fresh protocol instance for a graph with n nodes.
+// The default constants (InitialP = 0.02, MaxP = 0.1) are absolute — they
+// do not depend on n, p or d — and were chosen by a small sweep: hotter
+// caps (MaxP ≥ 0.5) are bistable on dense neighbourhoods (listeners hear
+// only collisions while transmitters, deaf half the time, barely adapt).
+func NewBackoff(n int) *Backoff {
+	b := &Backoff{InitialP: 0.02, MaxP: 0.1, MinP: 1e-6, rate: make([]float64, n)}
+	for i := range b.rate {
+		b.rate[i] = -1 // unset until informed
+	}
+	return b
+}
+
+// TransmitCD implements radio.FeedbackProtocol.
+func (b *Backoff) TransmitCD(v int32, round int, informedAt int32, prev radio.Feedback, rng *xrand.Rand) bool {
+	r := b.rate[v]
+	if r < 0 {
+		// First action after being informed: one shout at InitialP, then
+		// the adaptive regime capped at MaxP.
+		b.rate[v] = b.MaxP
+		return rng.Bernoulli(b.InitialP)
+	}
+	switch prev {
+	case radio.FeedbackCollision:
+		r /= 2
+		if r < b.MinP {
+			r = b.MinP
+		}
+	case radio.FeedbackSilence:
+		r *= 2
+		if r > b.MaxP {
+			r = b.MaxP
+		}
+	}
+	b.rate[v] = r
+	return rng.Bernoulli(r)
+}
+
+// Rate returns v's current transmit probability (for tests/inspection);
+// -1 means v has not acted yet.
+func (b *Backoff) Rate(v int32) float64 { return b.rate[v] }
+
+var _ radio.FeedbackProtocol = (*Backoff)(nil)

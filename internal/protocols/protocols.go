@@ -1,0 +1,95 @@
+// Package protocols implements the distributed radio-broadcast baselines
+// the paper's protocol is compared against in experiment E5:
+//
+//   - Decay — the classical randomized protocol of Bar-Yehuda, Goldreich
+//     and Itai (1992) for unknown topologies, O((D + log n)·log n) rounds.
+//   - ALOHA — p-persistent transmission: every informed node transmits
+//     with a fixed probability each round.
+//   - Flood — every informed node transmits every round; on radio networks
+//     this deadlocks as soon as two neighbours of an uninformed node are
+//     informed (kept as a cautionary baseline).
+//   - RoundRobin — deterministic ID-based time division: node v transmits
+//     in rounds ≡ v (mod n); collision-free but Θ(n·D) rounds.
+//
+// All types implement radio.Protocol.
+package protocols
+
+import (
+	"math"
+
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Decay is the Bar-Yehuda–Goldreich–Itai protocol. Time is divided into
+// epochs of Phases rounds. In round k of an epoch every informed node
+// transmits with probability 2^{-k}: early rounds push through sparse
+// neighbourhoods, late rounds resolve dense ones.
+type Decay struct {
+	// Phases is the epoch length, canonically ⌈log₂ n⌉.
+	Phases int
+}
+
+// NewDecay returns the protocol with the canonical epoch length for n
+// nodes.
+func NewDecay(n int) *Decay {
+	ph := int(math.Ceil(math.Log2(float64(n) + 1)))
+	if ph < 1 {
+		ph = 1
+	}
+	return &Decay{Phases: ph}
+}
+
+// Transmit implements radio.Protocol.
+func (d *Decay) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	k := (round - 1) % d.Phases // k = 0, 1, ..., Phases-1
+	return rng.Bernoulli(math.Pow(2, -float64(k)))
+}
+
+// Aloha transmits with a fixed probability P every round.
+type Aloha struct {
+	P float64
+}
+
+// NewAloha returns the protocol with the degree-matched rate 1/d, the
+// throughput-optimal choice when every uninformed node has about d
+// informed neighbours.
+func NewAloha(d float64) *Aloha {
+	if d < 1 {
+		d = 1
+	}
+	return &Aloha{P: 1 / d}
+}
+
+// Transmit implements radio.Protocol.
+func (a *Aloha) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	return rng.Bernoulli(a.P)
+}
+
+// Flood transmits deterministically every round.
+type Flood struct{}
+
+// Transmit implements radio.Protocol.
+func (Flood) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	return true
+}
+
+// RoundRobin gives each node a private slot: node v transmits in rounds
+// r with (r-1) mod N == v. Collision-free and deterministic, hence a
+// correct (if very slow) broadcast on any connected graph.
+type RoundRobin struct {
+	N int
+}
+
+// Transmit implements radio.Protocol.
+func (rr *RoundRobin) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	return int32((round-1)%rr.N) == v
+}
+
+// Compile-time interface checks.
+var (
+	_ radio.Protocol = (*Decay)(nil)
+	_ radio.Protocol = (*Aloha)(nil)
+	_ radio.Protocol = Flood{}
+	_ radio.Protocol = (*RoundRobin)(nil)
+)

@@ -1,0 +1,364 @@
+// Package radio implements the synchronous radio-network model of the
+// paper (§1.1) exactly:
+//
+//   - Communication proceeds in synchronous steps (rounds).
+//   - In each step every node either transmits or listens.
+//   - A transmitted message reaches all neighbours of the transmitter.
+//   - A listening node w RECEIVES a message in a step iff exactly one of
+//     its neighbours transmits in that step. If two or more neighbours
+//     transmit, a collision occurs at w and w receives nothing. Nodes get
+//     no collision detection: a collision is indistinguishable from
+//     silence.
+//   - A transmitting node receives nothing in that step.
+//
+// The package provides a low-level Engine that advances one round at a
+// time given an explicit transmitter set (used by centralized schedules and
+// by the lower-bound harnesses) and a higher-level protocol runner for
+// fully distributed randomized protocols in which every informed node
+// locally decides each round whether to transmit.
+package radio
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// TransmitterPolicy controls how the engine treats transmitters that do not
+// hold the message yet.
+type TransmitterPolicy int
+
+const (
+	// StrictInformed rejects any schedule that asks an uninformed node to
+	// transmit; this is the physical model (an uninformed node has nothing
+	// to send). Engine.Round returns an error in this case.
+	StrictInformed TransmitterPolicy = iota
+	// FilterUninformed silently drops uninformed transmitters from the
+	// set. Useful when replaying randomized schedules whose sets were
+	// drawn without knowledge of the information frontier.
+	FilterUninformed
+	// MagicTransmitters lets uninformed nodes transmit the message anyway.
+	// This is the RELAXED model used inside the proof of Theorem 6, where
+	// the adversary's transmit sets are charged "regardless of the status
+	// of the transmitting nodes"; it can only help the broadcast, so lower
+	// bounds measured under it remain valid lower bounds.
+	MagicTransmitters
+)
+
+// NotInformed is the value of InformedAt for nodes that have not received
+// the message.
+const NotInformed int32 = -1
+
+// Stats accumulates counters over the rounds executed by an Engine.
+type Stats struct {
+	Rounds        int // rounds executed
+	Transmissions int // total node-transmissions
+	Deliveries    int // listening nodes that received the message (incl. already-informed)
+	NewlyInformed int // uninformed nodes that became informed
+	Collisions    int // listening-node-rounds lost to >=2 transmitting neighbours
+}
+
+// Engine simulates the radio model on a fixed graph from a single source.
+// It is not safe for concurrent use; run one Engine per goroutine.
+type Engine struct {
+	g        *graph.Graph
+	src      int32
+	policy   TransmitterPolicy
+	informed []bool
+	// informedAt[v] is the round in which v was informed (0 for the
+	// source), or NotInformed.
+	informedAt   []int32
+	numInformed  int
+	hits         []int32 // transmitting-neighbour count this round
+	touched      []int32 // vertices with nonzero hits, for O(deg) reset
+	transmitting []bool
+	txList       []int32
+	round        int
+	stats        Stats
+	newly        []int32 // scratch reused across rounds
+	// Scratch for RoundWithFeedback (allocated lazily).
+	cdHits    []int32
+	cdMark    []bool
+	cdTx      []int32
+	cdTouched []int32
+}
+
+// NewEngine returns an engine on g in which only src knows the message.
+// Round 0 is the initial state; the first executed round is round 1.
+func NewEngine(g *graph.Graph, src int32, policy TransmitterPolicy) *Engine {
+	n := g.N()
+	if src < 0 || int(src) >= n {
+		panic(fmt.Sprintf("radio: source %d out of range [0,%d)", src, n))
+	}
+	e := &Engine{
+		g:            g,
+		src:          src,
+		policy:       policy,
+		informed:     make([]bool, n),
+		informedAt:   make([]int32, n),
+		hits:         make([]int32, n),
+		transmitting: make([]bool, n),
+	}
+	for i := range e.informedAt {
+		e.informedAt[i] = NotInformed
+	}
+	e.informed[src] = true
+	e.informedAt[src] = 0
+	e.numInformed = 1
+	return e
+}
+
+// Reset returns the engine to its initial state (only the source informed)
+// without reallocating.
+func (e *Engine) Reset() {
+	for i := range e.informed {
+		e.informed[i] = false
+		e.informedAt[i] = NotInformed
+	}
+	e.informed[e.src] = true
+	e.informedAt[e.src] = 0
+	e.numInformed = 1
+	e.round = 0
+	e.stats = Stats{}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Source returns the broadcast source.
+func (e *Engine) Source() int32 { return e.src }
+
+// RoundCount returns the number of rounds executed so far.
+func (e *Engine) RoundCount() int { return e.round }
+
+// Stats returns the accumulated counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Informed reports whether v holds the message.
+func (e *Engine) Informed(v int32) bool { return e.informed[v] }
+
+// InformedAt returns the round in which v was informed, or NotInformed.
+func (e *Engine) InformedAt(v int32) int32 { return e.informedAt[v] }
+
+// InformedCount returns the number of informed nodes.
+func (e *Engine) InformedCount() int { return e.numInformed }
+
+// Done reports whether every node is informed.
+func (e *Engine) Done() bool { return e.numInformed == e.g.N() }
+
+// InformedTimes returns a copy of the informed-at array.
+func (e *Engine) InformedTimes() []int32 {
+	out := make([]int32, len(e.informedAt))
+	copy(out, e.informedAt)
+	return out
+}
+
+// AppendInformed appends all informed vertices to dst.
+func (e *Engine) AppendInformed(dst []int32) []int32 {
+	for v, ok := range e.informed {
+		if ok {
+			dst = append(dst, int32(v))
+		}
+	}
+	return dst
+}
+
+// AppendUninformed appends all uninformed vertices to dst.
+func (e *Engine) AppendUninformed(dst []int32) []int32 {
+	for v, ok := range e.informed {
+		if !ok {
+			dst = append(dst, int32(v))
+		}
+	}
+	return dst
+}
+
+// ErrUninformedTransmitter is returned by Round under StrictInformed when
+// the schedule contains a transmitter that does not yet hold the message.
+var ErrUninformedTransmitter = errors.New("radio: schedule uses uninformed transmitter")
+
+// Round executes one synchronous step in which exactly the nodes of
+// transmitters transmit (subject to the engine's TransmitterPolicy) and
+// every other node listens. It returns the list of nodes that became
+// informed in this round; the returned slice is reused by the next call.
+//
+// Duplicate entries in transmitters are tolerated (a node transmits once).
+func (e *Engine) Round(transmitters []int32) ([]int32, error) {
+	e.round++
+	e.stats.Rounds++
+
+	// Mark transmitters, applying the policy.
+	e.txList = e.txList[:0]
+	for _, v := range transmitters {
+		if v < 0 || int(v) >= len(e.informed) {
+			return nil, fmt.Errorf("radio: transmitter %d out of range", v)
+		}
+		if !e.informed[v] {
+			switch e.policy {
+			case StrictInformed:
+				e.clearTransmitMarks()
+				return nil, fmt.Errorf("%w: node %d in round %d", ErrUninformedTransmitter, v, e.round)
+			case FilterUninformed:
+				continue
+			case MagicTransmitters:
+				// allowed through
+			}
+		}
+		if !e.transmitting[v] {
+			e.transmitting[v] = true
+			e.txList = append(e.txList, v)
+		}
+	}
+	e.stats.Transmissions += len(e.txList)
+
+	// Count transmitting neighbours of every node touched.
+	for _, v := range e.txList {
+		for _, w := range e.g.Neighbors(v) {
+			if e.hits[w] == 0 {
+				e.touched = append(e.touched, w)
+			}
+			e.hits[w]++
+		}
+	}
+
+	// Deliveries: listening nodes with exactly one transmitting neighbour.
+	e.newly = e.newly[:0]
+	for _, w := range e.touched {
+		if e.transmitting[w] {
+			continue // transmitting node does not listen
+		}
+		if e.hits[w] == 1 {
+			e.stats.Deliveries++
+			if !e.informed[w] {
+				e.informed[w] = true
+				e.informedAt[w] = int32(e.round)
+				e.numInformed++
+				e.stats.NewlyInformed++
+				e.newly = append(e.newly, w)
+			}
+		} else {
+			e.stats.Collisions++
+		}
+	}
+
+	// Reset per-round scratch.
+	for _, w := range e.touched {
+		e.hits[w] = 0
+	}
+	e.touched = e.touched[:0]
+	e.clearTransmitMarks()
+	return e.newly, nil
+}
+
+func (e *Engine) clearTransmitMarks() {
+	for _, v := range e.txList {
+		e.transmitting[v] = false
+	}
+	e.txList = e.txList[:0]
+}
+
+// Schedule is an explicit centralized broadcast schedule: Sets[t] is the
+// set of nodes scheduled to transmit in round t+1.
+type Schedule struct {
+	Sets [][]int32
+}
+
+// Len returns the number of rounds in the schedule.
+func (s *Schedule) Len() int { return len(s.Sets) }
+
+// Result summarises a complete simulation.
+type Result struct {
+	Completed  bool    // every node informed
+	Rounds     int     // rounds executed until completion (or budget exhausted)
+	Informed   int     // informed nodes at the end
+	N          int     // graph size
+	InformedAt []int32 // per-node informed round (NotInformed if never)
+	Stats      Stats
+}
+
+// ExecuteSchedule runs the schedule on a fresh engine over g from src and
+// returns the result. Execution stops early once all nodes are informed;
+// Rounds then reports the first round after which the broadcast was
+// complete.
+func ExecuteSchedule(g *graph.Graph, src int32, s *Schedule, policy TransmitterPolicy) (Result, error) {
+	e := NewEngine(g, src, policy)
+	for _, set := range s.Sets {
+		if e.Done() {
+			break
+		}
+		if _, err := e.Round(set); err != nil {
+			return Result{}, err
+		}
+	}
+	return resultOf(e), nil
+}
+
+func resultOf(e *Engine) Result {
+	return Result{
+		Completed:  e.Done(),
+		Rounds:     e.round,
+		Informed:   e.numInformed,
+		N:          e.g.N(),
+		InformedAt: e.InformedTimes(),
+		Stats:      e.stats,
+	}
+}
+
+// Protocol is a fully distributed randomized broadcasting protocol. In
+// every round, the engine asks each INFORMED node whether it transmits;
+// uninformed nodes always listen (they have nothing to send). The decision
+// may use only information available locally: the global round number
+// (nodes share a synchronous clock), the round at which the node was
+// informed, the node's identity/degree, and private randomness — matching
+// the paper's model in which nodes know only n, p and the time t.
+type Protocol interface {
+	// Transmit reports whether node v transmits in round (engine round
+	// numbering starts at 1). informedAt is the round v was informed.
+	Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool
+}
+
+// ProtocolFunc adapts a function to the Protocol interface.
+type ProtocolFunc func(v int32, round int, informedAt int32, rng *xrand.Rand) bool
+
+// Transmit implements Protocol.
+func (f ProtocolFunc) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	return f(v, round, informedAt, rng)
+}
+
+// RunProtocol simulates the distributed protocol for at most maxRounds
+// rounds, stopping early when every node is informed.
+func RunProtocol(g *graph.Graph, src int32, p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	e := NewEngine(g, src, StrictInformed)
+	var tx []int32
+	for e.round < maxRounds && !e.Done() {
+		tx = tx[:0]
+		round := e.round + 1
+		for v, inf := range e.informed {
+			if !inf {
+				continue
+			}
+			if p.Transmit(int32(v), round, e.informedAt[v], rng) {
+				tx = append(tx, int32(v))
+			}
+		}
+		if _, err := e.Round(tx); err != nil {
+			// Cannot happen: we only offer informed nodes.
+			panic(err)
+		}
+	}
+	return resultOf(e)
+}
+
+// BroadcastTime runs the protocol and returns the completion round, or
+// maxRounds+1 if the broadcast did not finish within the budget. The
+// sentinel keeps incomplete runs visibly worse than any complete run when
+// aggregating.
+func BroadcastTime(g *graph.Graph, src int32, p Protocol, maxRounds int, rng *xrand.Rand) int {
+	res := RunProtocol(g, src, p, maxRounds, rng)
+	if !res.Completed {
+		return maxRounds + 1
+	}
+	return res.Rounds
+}

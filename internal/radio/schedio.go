@@ -1,0 +1,93 @@
+package radio
+
+// Schedule serialisation: a plain-text format so schedules built by one
+// tool (or an expensive offline computation) can be replayed by another.
+//
+// Format:
+//
+//	schedule <rounds>
+//	<v1> <v2> ...      # one line per round; blank line = empty round
+//
+// Vertex ids are base-10; comment lines start with '#'.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteTo serialises the schedule.
+func (s *Schedule) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var total int64
+	n, err := fmt.Fprintf(bw, "schedule %d\n", len(s.Sets))
+	total += int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, set := range s.Sets {
+		for i, v := range set {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return total, err
+				}
+				total++
+			}
+			n, err := bw.WriteString(strconv.Itoa(int(v)))
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return total, err
+		}
+		total++
+	}
+	return total, bw.Flush()
+}
+
+// ReadSchedule parses the WriteTo format.
+func ReadSchedule(r io.Reader) (*Schedule, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("radio: empty schedule input")
+	}
+	var rounds int
+	if _, err := fmt.Sscanf(sc.Text(), "schedule %d", &rounds); err != nil {
+		return nil, fmt.Errorf("radio: bad schedule header %q: %v", sc.Text(), err)
+	}
+	if rounds < 0 {
+		return nil, fmt.Errorf("radio: negative round count")
+	}
+	s := &Schedule{Sets: make([][]int32, 0, rounds)}
+	for sc.Scan() && len(s.Sets) < rounds {
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		var set []int32
+		if line != "" {
+			fields := strings.Fields(line)
+			set = make([]int32, len(fields))
+			for i, f := range fields {
+				v, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("radio: round %d: %v", len(s.Sets)+1, err)
+				}
+				set[i] = int32(v)
+			}
+		}
+		s.Sets = append(s.Sets, set)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(s.Sets) != rounds {
+		return nil, fmt.Errorf("radio: header says %d rounds, found %d", rounds, len(s.Sets))
+	}
+	return s, nil
+}

@@ -1,0 +1,79 @@
+package radio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestScheduleRoundTrip(t *testing.T) {
+	rng := xrand.New(1)
+	s := &Schedule{}
+	for r := 0; r < 25; r++ {
+		s.Sets = append(s.Sets, rng.Sample(1000, rng.Intn(30)))
+	}
+	s.Sets = append(s.Sets, nil) // empty round
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("round trip length %d != %d", got.Len(), s.Len())
+	}
+	for r := range s.Sets {
+		if len(got.Sets[r]) != len(s.Sets[r]) {
+			t.Fatalf("round %d size mismatch", r)
+		}
+		for i := range s.Sets[r] {
+			if got.Sets[r][i] != s.Sets[r][i] {
+				t.Fatalf("round %d element %d mismatch", r, i)
+			}
+		}
+	}
+}
+
+func TestReadScheduleComments(t *testing.T) {
+	in := "schedule 2\n# comment\n1 2 3\n\n"
+	s, err := ReadSchedule(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || len(s.Sets[0]) != 3 || len(s.Sets[1]) != 0 {
+		t.Fatalf("parsed %+v", s.Sets)
+	}
+}
+
+func TestReadScheduleErrors(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"bogus header",
+		"schedule -1\n",
+		"schedule 2\n1 2\n",   // too few rounds
+		"schedule 1\n1 x 3\n", // non-numeric
+	} {
+		if _, err := ReadSchedule(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestScheduleEmptyRoundTrip(t *testing.T) {
+	s := &Schedule{}
+	var buf bytes.Buffer
+	if _, err := s.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty schedule round trip has %d rounds", got.Len())
+	}
+}

@@ -1,0 +1,86 @@
+package radio
+
+// Per-round tracing: detailed round records for debugging protocols and
+// for the planner/radiosim tools, kept out of the hot simulation paths
+// (the untraced runners allocate nothing per round).
+
+import (
+	"fmt"
+
+	"repro/internal/xrand"
+)
+
+// RoundRecord describes one executed round.
+type RoundRecord struct {
+	Round         int
+	Transmitters  int // scheduled transmitters this round (before dedup)
+	NewlyInformed int
+	Informed      int // cumulative after the round
+	Collisions    int // cumulative collision count after the round
+}
+
+// String formats the record for log output.
+func (r RoundRecord) String() string {
+	return fmt.Sprintf("round %3d: %6d transmitters, %6d newly informed, %7d total",
+		r.Round, r.Transmitters, r.NewlyInformed, r.Informed)
+}
+
+// TracedResult bundles a Result with its per-round records.
+type TracedResult struct {
+	Result
+	Trace []RoundRecord
+}
+
+// ExecuteScheduleTrace runs the schedule on the engine and records every
+// round. The engine's policy applies as in Engine.Round.
+func ExecuteScheduleTrace(e *Engine, s *Schedule) (TracedResult, error) {
+	var out TracedResult
+	for _, set := range s.Sets {
+		if e.Done() {
+			break
+		}
+		newly, err := e.Round(set)
+		if err != nil {
+			return out, err
+		}
+		out.Trace = append(out.Trace, RoundRecord{
+			Round:         e.RoundCount(),
+			Transmitters:  len(set),
+			NewlyInformed: len(newly),
+			Informed:      e.InformedCount(),
+			Collisions:    e.Stats().Collisions,
+		})
+	}
+	out.Result = resultOf(e)
+	return out, nil
+}
+
+// RunProtocolTrace simulates the protocol like RunProtocol and records
+// every round.
+func RunProtocolTrace(e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) TracedResult {
+	var out TracedResult
+	var tx []int32
+	g := e.Graph()
+	for e.RoundCount() < maxRounds && !e.Done() {
+		tx = tx[:0]
+		round := e.RoundCount() + 1
+		for v := 0; v < g.N(); v++ {
+			if e.Informed(int32(v)) && p.Transmit(int32(v), round, e.InformedAt(int32(v)), rng) {
+				tx = append(tx, int32(v))
+			}
+		}
+		newly, err := e.Round(tx)
+		if err != nil {
+			panic(err) // only informed nodes are offered
+		}
+		out.Trace = append(out.Trace, RoundRecord{
+			Round:         e.RoundCount(),
+			Transmitters:  len(tx),
+			NewlyInformed: len(newly),
+			Informed:      e.InformedCount(),
+			Collisions:    e.Stats().Collisions,
+		})
+	}
+	out.Result = resultOf(e)
+	return out
+}

@@ -1,0 +1,101 @@
+package radio
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/xrand"
+)
+
+func TestExecuteScheduleTrace(t *testing.T) {
+	g := gen.Path(4)
+	e := NewEngine(g, 0, StrictInformed)
+	s := &Schedule{Sets: [][]int32{{0}, {1}, {2}}}
+	res, err := ExecuteScheduleTrace(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed || res.Rounds != 3 {
+		t.Fatalf("result %+v", res.Result)
+	}
+	if len(res.Trace) != 3 {
+		t.Fatalf("trace has %d records", len(res.Trace))
+	}
+	for i, rec := range res.Trace {
+		if rec.Round != i+1 {
+			t.Fatalf("record %d has round %d", i, rec.Round)
+		}
+		if rec.Transmitters != 1 || rec.NewlyInformed != 1 {
+			t.Fatalf("record %d: %+v", i, rec)
+		}
+		if rec.Informed != i+2 {
+			t.Fatalf("record %d informed %d", i, rec.Informed)
+		}
+	}
+}
+
+func TestExecuteScheduleTraceStopsEarly(t *testing.T) {
+	g := gen.Star(5)
+	e := NewEngine(g, 0, StrictInformed)
+	s := &Schedule{Sets: [][]int32{{0}, {1}, {2}}}
+	res, err := ExecuteScheduleTrace(e, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 1 {
+		t.Fatalf("trace %d records after early completion", len(res.Trace))
+	}
+}
+
+func TestExecuteScheduleTraceError(t *testing.T) {
+	g := gen.Path(3)
+	e := NewEngine(g, 0, StrictInformed)
+	s := &Schedule{Sets: [][]int32{{2}}}
+	if _, err := ExecuteScheduleTrace(e, s); err == nil {
+		t.Fatal("uninformed transmitter accepted")
+	}
+}
+
+func TestRunProtocolTraceMatchesUntraced(t *testing.T) {
+	const n = 300
+	g, _, ok := gen.ConnectedGnp(n, gen.PForDegree(n, 12), xrand.New(1), 50)
+	if !ok {
+		t.Skip("no connected sample")
+	}
+	p := ProtocolFunc(func(v int32, round int, at int32, r *xrand.Rand) bool {
+		if round <= 2 {
+			return true
+		}
+		return r.Bernoulli(1.0 / 12)
+	})
+	// Same seed: traced and untraced must agree exactly.
+	traced := RunProtocolTrace(NewEngine(g, 0, StrictInformed), p, 2000, xrand.New(7))
+	plain := RunProtocol(g, 0, p, 2000, xrand.New(7))
+	if traced.Rounds != plain.Rounds || traced.Informed != plain.Informed {
+		t.Fatalf("traced %+v != plain %+v", traced.Result.Rounds, plain.Rounds)
+	}
+	if len(traced.Trace) != traced.Rounds {
+		t.Fatalf("trace length %d != rounds %d", len(traced.Trace), traced.Rounds)
+	}
+	// Informed counts must be non-decreasing and end at n.
+	prev := 1
+	for _, rec := range traced.Trace {
+		if rec.Informed < prev {
+			t.Fatalf("informed decreased at round %d", rec.Round)
+		}
+		prev = rec.Informed
+	}
+	if traced.Completed && prev != n {
+		t.Fatalf("final informed %d != n", prev)
+	}
+}
+
+func TestRoundRecordString(t *testing.T) {
+	s := RoundRecord{Round: 3, Transmitters: 5, NewlyInformed: 2, Informed: 10}.String()
+	for _, want := range []string{"round", "3", "5", "2", "10"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("record string %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package rumor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func connectedGnp(t testing.TB, n int, d float64, seed uint64) *graph.Graph {
+	t.Helper()
+	g, _, ok := gen.ConnectedGnp(n, gen.PForDegree(n, d), xrand.New(seed), 50)
+	if !ok {
+		t.Fatalf("no connected sample")
+	}
+	return g
+}
+
+func TestPushCompletesOnGnpInLogRounds(t *testing.T) {
+	const n = 4000
+	g := connectedGnp(t, n, 3*math.Log(n), 1)
+	rng := xrand.New(2)
+	res := Spread(g, 0, Push, 1000, rng)
+	if !res.Completed {
+		t.Fatalf("push incomplete: %d/%d", res.Informed, n)
+	}
+	// Feige et al.: O(log n); allow a generous constant.
+	if float64(res.Rounds) > 12*math.Log2(n) {
+		t.Fatalf("push took %d rounds on n=%d", res.Rounds, n)
+	}
+}
+
+func TestPullCompletesOnGnp(t *testing.T) {
+	const n = 2000
+	g := connectedGnp(t, n, 3*math.Log(n), 3)
+	rng := xrand.New(4)
+	res := Spread(g, 0, Pull, 2000, rng)
+	if !res.Completed {
+		t.Fatalf("pull incomplete: %d/%d", res.Informed, n)
+	}
+}
+
+func TestPushPullFasterOrEqual(t *testing.T) {
+	const n = 2000
+	g := connectedGnp(t, n, 3*math.Log(n), 5)
+	med := func(mode Mode) int {
+		var ts []int
+		for i := 0; i < 5; i++ {
+			rng := xrand.New(50 + uint64(i))
+			ts = append(ts, SpreadTime(g, 0, mode, 2000, rng))
+		}
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+		return ts[len(ts)/2]
+	}
+	push := med(Push)
+	both := med(PushPull)
+	if both > push+1 {
+		t.Fatalf("push-pull (%d) notably slower than push (%d)", both, push)
+	}
+}
+
+func TestSpreadOnCompleteGraphDoubling(t *testing.T) {
+	// On K_n push roughly doubles the informed set per round early on:
+	// completion in Θ(log n) rounds.
+	const n = 1024
+	g := gen.Complete(n)
+	rng := xrand.New(6)
+	res := Spread(g, 0, Push, 200, rng)
+	if !res.Completed {
+		t.Fatal("push on K_n incomplete")
+	}
+	if res.Rounds < int(math.Log2(n)) {
+		t.Fatalf("push finished impossibly fast: %d rounds", res.Rounds)
+	}
+	if res.Rounds > 8*int(math.Log2(n)) {
+		t.Fatalf("push on K_n took %d rounds", res.Rounds)
+	}
+}
+
+func TestSpreadIsolatedVertexNeverInformed(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	rng := xrand.New(7)
+	res := Spread(g, 0, PushPull, 100, rng)
+	if res.Completed {
+		t.Fatal("isolated vertex cannot be informed")
+	}
+	if res.Informed != 2 {
+		t.Fatalf("informed = %d, want 2", res.Informed)
+	}
+	if res.InformedAt[2] != -1 {
+		t.Fatal("isolated vertex has informedAt set")
+	}
+}
+
+func TestSpreadInformedAtConsistent(t *testing.T) {
+	const n = 500
+	g := connectedGnp(t, n, 12, 8)
+	rng := xrand.New(9)
+	res := Spread(g, 0, Push, 1000, rng)
+	if !res.Completed {
+		t.Fatal("incomplete")
+	}
+	if res.InformedAt[0] != 0 {
+		t.Fatal("source informedAt != 0")
+	}
+	for v := 1; v < n; v++ {
+		at := res.InformedAt[v]
+		if at < 1 || int(at) > res.Rounds {
+			t.Fatalf("informedAt[%d] = %d out of range", v, at)
+		}
+	}
+}
+
+func TestPullCannotChainWithinRound(t *testing.T) {
+	// Path 0-1-2: in round 1, node 1 can pull from 0, but node 2 must not
+	// learn the rumor in the same round through node 1.
+	g := gen.Path(3)
+	for seed := uint64(0); seed < 20; seed++ {
+		rng := xrand.New(seed)
+		res := Spread(g, 0, Pull, 1, rng)
+		if res.InformedAt[2] == 1 {
+			t.Fatal("pull chained two hops in one round")
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Push.String() != "push" || Pull.String() != "pull" || PushPull.String() != "push-pull" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(99).String() != "unknown" {
+		t.Fatal("unknown mode name")
+	}
+}
+
+func TestSpreadTimeSentinel(t *testing.T) {
+	b := graph.NewBuilder(2) // no edges: can never complete
+	g := b.Build()
+	rng := xrand.New(10)
+	if got := SpreadTime(g, 0, Push, 10, rng); got != 11 {
+		t.Fatalf("sentinel = %d", got)
+	}
+}
+
+func TestAgentsComplete(t *testing.T) {
+	const n = 300
+	g := connectedGnp(t, n, 10, 11)
+	rng := xrand.New(12)
+	res := Agents(g, 0, 32, 100000, rng)
+	if !res.Completed {
+		t.Fatalf("agents incomplete: %d/%d", res.Informed, n)
+	}
+}
+
+func TestAgentsPickUpRumor(t *testing.T) {
+	// A single agent starting anywhere must eventually pick up and spread
+	// the rumor on a small cycle.
+	g := gen.Cycle(10)
+	rng := xrand.New(13)
+	res := Agents(g, 0, 1, 200000, rng)
+	if !res.Completed {
+		t.Fatalf("single agent incomplete: %d/10", res.Informed)
+	}
+}
+
+func TestAgentsMoreAgentsNoSlower(t *testing.T) {
+	const n = 400
+	g := connectedGnp(t, n, 10, 14)
+	med := func(k int) int {
+		var ts []int
+		for i := 0; i < 5; i++ {
+			rng := xrand.New(200 + uint64(i))
+			r := Agents(g, 0, k, 1000000, rng)
+			ts = append(ts, r.Rounds)
+		}
+		for i := 1; i < len(ts); i++ {
+			for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+				ts[j], ts[j-1] = ts[j-1], ts[j]
+			}
+		}
+		return ts[len(ts)/2]
+	}
+	few := med(4)
+	many := med(64)
+	if many > few {
+		t.Fatalf("64 agents (%d rounds) slower than 4 agents (%d rounds)", many, few)
+	}
+}
+
+func BenchmarkPush(b *testing.B) {
+	const n = 10000
+	g := connectedGnp(b, n, 3*math.Log(n), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := xrand.New(uint64(i))
+		res := Spread(g, 0, Push, 1000, rng)
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}

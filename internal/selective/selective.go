@@ -1,0 +1,132 @@
+// Package selective implements selective families, the classical
+// combinatorial tool for deterministic radio broadcasting in unknown
+// worst-case networks, cited by the paper (§1.1: "a commonly used tool to
+// handle this problem is the concept of selective families of sets").
+//
+// A family F of subsets of [n] is (n,k)-selective if for every non-empty
+// subset S ⊆ [n] with |S| ≤ k there is a set F ∈ F that intersects S in
+// exactly one element ("F selects S"). Cycling through such a family makes
+// a deterministic broadcast protocol: whenever the set of informed
+// neighbours of an uninformed node has size ≤ k, some round lets exactly
+// one of them transmit alone, so the node receives.
+//
+// The package provides the standard randomized construction of size
+// O(k·log(n/k)·log n) and a protocol adapter used as the deterministic
+// distributed baseline in experiment E5.
+package selective
+
+import (
+	"sort"
+
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Family is an ordered list of subsets of [0, N).
+type Family struct {
+	N    int
+	Sets [][]int32
+	// membership[i] is a lookup for Sets[i] built lazily by Contains.
+	membership []map[int32]bool
+}
+
+// NewFamily returns a family over ground set [0, n) with the given sets.
+// Each set is copied and sorted.
+func NewFamily(n int, sets [][]int32) *Family {
+	f := &Family{N: n, Sets: make([][]int32, len(sets))}
+	for i, s := range sets {
+		c := make([]int32, len(s))
+		copy(c, s)
+		sort.Slice(c, func(a, b int) bool { return c[a] < c[b] })
+		f.Sets[i] = c
+	}
+	return f
+}
+
+// Len returns the number of sets.
+func (f *Family) Len() int { return len(f.Sets) }
+
+// Contains reports whether Sets[i] contains v.
+func (f *Family) Contains(i int, v int32) bool {
+	s := f.Sets[i]
+	j := sort.Search(len(s), func(k int) bool { return s[k] >= v })
+	return j < len(s) && s[j] == v
+}
+
+// SelectsSubset reports whether some set of the family intersects subset
+// in exactly one element, and returns the index of the first such set
+// (or -1).
+func (f *Family) SelectsSubset(subset []int32) (bool, int) {
+	in := make(map[int32]bool, len(subset))
+	for _, v := range subset {
+		in[v] = true
+	}
+	for i, s := range f.Sets {
+		count := 0
+		for _, v := range s {
+			if in[v] {
+				count++
+				if count > 1 {
+					break
+				}
+			}
+		}
+		if count == 1 {
+			return true, i
+		}
+	}
+	return false, -1
+}
+
+// Random builds the standard probabilistic (n,k)-selective family: for
+// each scale j = 1, 2, 4, …, ≥ k it adds reps sets in which every element
+// of [n] appears independently with probability 1/j. With
+// reps = Θ(log n) the family is (n,k)-selective w.h.p.; the tests verify
+// selectivity empirically on random subsets.
+func Random(n, k, reps int, rng *xrand.Rand) *Family {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if reps < 1 {
+		reps = 1
+	}
+	all := make([]int32, n)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	var sets [][]int32
+	for j := 1; j <= 2*k; j *= 2 {
+		if j == 1 {
+			// Scale 1: the full ground set selects every singleton.
+			full := make([]int32, n)
+			copy(full, all)
+			sets = append(sets, full)
+			continue
+		}
+		for r := 0; r < reps; r++ {
+			sets = append(sets, rng.SubsetEach(nil, all, 1/float64(j)))
+		}
+	}
+	return NewFamily(n, sets)
+}
+
+// Protocol adapts a family to a deterministic radio.Protocol: in round t,
+// an informed node v transmits iff v belongs to set (t-1) mod Len().
+// Combined with the radio engine this is the classical deterministic
+// unknown-topology broadcast baseline.
+type Protocol struct {
+	F *Family
+}
+
+// Transmit implements radio.Protocol.
+func (p *Protocol) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
+	if p.F.Len() == 0 {
+		return false
+	}
+	return p.F.Contains((round-1)%p.F.Len(), v)
+}
+
+var _ radio.Protocol = (*Protocol)(nil)

@@ -1,0 +1,265 @@
+// Package stats provides the summary statistics and curve-fitting helpers
+// used by the experiment harness: means, variances, quantiles, normal and
+// bootstrap confidence intervals, and least-squares fits (linear and
+// log–log) for checking the paper's asymptotic shapes against measured
+// scaling curves.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator), or NaN
+// for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. It returns NaN for empty input
+// and panics for q outside [0,1].
+func Quantile(xs []float64, q float64) float64 {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
+	}
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Summary aggregates the usual descriptive statistics of a sample.
+type Summary struct {
+	N                 int
+	Mean, StdDev      float64
+	Min, Median, Max  float64
+	P10, P90          float64
+	CILow, CIHigh     float64 // normal-approximation 95% CI of the mean
+	MeanErrorHalfWide float64 // half-width of that CI
+}
+
+// Summarize computes a Summary. For N < 2 the dispersion fields are NaN.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		s.Mean, s.StdDev = math.NaN(), math.NaN()
+		s.Min, s.Median, s.Max = math.NaN(), math.NaN(), math.NaN()
+		s.P10, s.P90 = math.NaN(), math.NaN()
+		s.CILow, s.CIHigh = math.NaN(), math.NaN()
+		s.MeanErrorHalfWide = math.NaN()
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.StdDev = StdDev(xs)
+	s.Min = Quantile(xs, 0)
+	s.Median = Median(xs)
+	s.Max = Quantile(xs, 1)
+	s.P10 = Quantile(xs, 0.10)
+	s.P90 = Quantile(xs, 0.90)
+	if len(xs) >= 2 {
+		half := 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
+		s.MeanErrorHalfWide = half
+		s.CILow = s.Mean - half
+		s.CIHigh = s.Mean + half
+	} else {
+		s.MeanErrorHalfWide = math.NaN()
+		s.CILow, s.CIHigh = math.NaN(), math.NaN()
+	}
+	return s
+}
+
+// BootstrapCI returns a percentile bootstrap 95% confidence interval for
+// the mean using the given number of resamples.
+func BootstrapCI(xs []float64, resamples int, rng *xrand.Rand) (lo, hi float64) {
+	if len(xs) == 0 || resamples < 2 {
+		return math.NaN(), math.NaN()
+	}
+	means := make([]float64, resamples)
+	for r := range means {
+		sum := 0.0
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[r] = sum / float64(len(xs))
+	}
+	return Quantile(means, 0.025), Quantile(means, 0.975)
+}
+
+// LinearFit is a least-squares line y = Slope·x + Intercept with its
+// coefficient of determination.
+type LinearFit struct {
+	Slope, Intercept, R2 float64
+}
+
+// FitLinear fits y = a·x + b by ordinary least squares. It returns NaN
+// fields for fewer than two points or zero x-variance.
+func FitLinear(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: FitLinear length mismatch")
+	}
+	if len(xs) < 2 {
+		return LinearFit{math.NaN(), math.NaN(), math.NaN()}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sxx, sxy, syy := 0.0, 0.0, 0.0
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{math.NaN(), math.NaN(), math.NaN()}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1
+	} else {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	}
+	return fit
+}
+
+// FitPowerLaw fits y = C·x^alpha by least squares in log–log space and
+// returns (alpha, C, R²). All inputs must be positive.
+func FitPowerLaw(xs, ys []float64) (alpha, c, r2 float64) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return math.NaN(), math.NaN(), math.NaN()
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	f := FitLinear(lx, ly)
+	return f.Slope, math.Exp(f.Intercept), f.R2
+}
+
+// FitLogarithm fits y = a·ln(x) + b and returns the fit. Inputs x must be
+// positive. Used to verify Θ(ln n) scaling claims: a good fit with stable
+// slope across ranges supports the claim.
+func FitLogarithm(xs, ys []float64) LinearFit {
+	lx := make([]float64, len(xs))
+	for i := range xs {
+		if xs[i] <= 0 {
+			return LinearFit{math.NaN(), math.NaN(), math.NaN()}
+		}
+		lx[i] = math.Log(xs[i])
+	}
+	return FitLinear(lx, ys)
+}
+
+// RatioSpread returns max/min of ys[i]/fs[i]: how far the measured values
+// ys wander from a hypothesised shape fs across the sweep. A bounded
+// spread (say < 3) over a wide range is the finite-size analogue of
+// "ys = Θ(fs)".
+func RatioSpread(ys, fs []float64) float64 {
+	if len(ys) != len(fs) || len(ys) == 0 {
+		return math.NaN()
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range ys {
+		if fs[i] == 0 {
+			return math.Inf(1)
+		}
+		r := ys[i] / fs[i]
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+	}
+	return hi / lo
+}
+
+// Ints converts an int slice to float64 for the statistics helpers.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// ChiSquareUniform computes the chi-square statistic of observed counts
+// against the uniform distribution over len(counts) buckets, returning
+// the statistic and the degrees of freedom. The caller compares against a
+// critical value (for df large, the statistic is ~Normal(df, 2df), so
+// values above df + 5·sqrt(2·df) are suspicious at any practical level).
+func ChiSquareUniform(counts []int) (chi2 float64, df int) {
+	k := len(counts)
+	if k < 2 {
+		return math.NaN(), 0
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN(), k - 1
+	}
+	expected := float64(total) / float64(k)
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	return chi2, k - 1
+}
+
+// ChiSquareLooksUniform reports whether the observed counts are plausibly
+// uniform: the statistic is within mean + sigmas standard deviations of
+// the chi-square distribution's mean (df) under the normal approximation.
+func ChiSquareLooksUniform(counts []int, sigmas float64) bool {
+	chi2, df := ChiSquareUniform(counts)
+	if math.IsNaN(chi2) {
+		return false
+	}
+	return chi2 <= float64(df)+sigmas*math.Sqrt(2*float64(df))
+}

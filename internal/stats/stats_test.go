@@ -1,0 +1,292 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almostEqual(m, 5, 1e-12) {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); !almostEqual(v, 32.0/7, 1e-12) {
+		t.Fatalf("variance = %v", v)
+	}
+	if sd := StdDev(xs); !almostEqual(sd, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("stddev = %v", sd)
+	}
+}
+
+func TestMeanEmptyNaN(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) not NaN")
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Fatal("Variance of singleton not NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Fatalf("min = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Fatalf("max = %v", q)
+	}
+	if q := Median(xs); q != 3 {
+		t.Fatalf("median = %v", q)
+	}
+	// Interpolation: 0.25 quantile of [1..5] = 2.
+	if q := Quantile(xs, 0.25); !almostEqual(q, 2, 1e-12) {
+		t.Fatalf("q25 = %v", q)
+	}
+	if q := Quantile(xs, 0.1); !almostEqual(q, 1.4, 1e-12) {
+		t.Fatalf("q10 = %v", q)
+	}
+	if q := Quantile([]float64{7}, 0.3); q != 7 {
+		t.Fatalf("singleton quantile = %v", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile not NaN")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile(1.5) did not panic")
+		}
+	}()
+	Quantile([]float64{1}, 1.5)
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	s := Summarize(xs)
+	if s.N != 10 || !almostEqual(s.Mean, 5.5, 1e-12) || !almostEqual(s.Median, 5.5, 1e-12) {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Min != 1 || s.Max != 10 {
+		t.Fatalf("min/max %v %v", s.Min, s.Max)
+	}
+	if !(s.CILow < s.Mean && s.Mean < s.CIHigh) {
+		t.Fatalf("CI does not bracket mean: %+v", s)
+	}
+	if !almostEqual(s.CIHigh-s.Mean, s.MeanErrorHalfWide, 1e-12) {
+		t.Fatalf("half width inconsistent: %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || !math.IsNaN(s.Mean) || !math.IsNaN(s.Median) {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestBootstrapCIBracketsMean(t *testing.T) {
+	rng := xrand.New(1)
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	lo, hi := BootstrapCI(xs, 500, rng)
+	m := Mean(xs)
+	if !(lo < m && m < hi) {
+		t.Fatalf("bootstrap CI [%v,%v] does not bracket mean %v", lo, hi, m)
+	}
+	if hi-lo > 2 {
+		t.Fatalf("bootstrap CI too wide: [%v,%v]", lo, hi)
+	}
+}
+
+func TestBootstrapDegenerate(t *testing.T) {
+	rng := xrand.New(2)
+	if lo, hi := BootstrapCI(nil, 100, rng); !math.IsNaN(lo) || !math.IsNaN(hi) {
+		t.Fatal("empty bootstrap not NaN")
+	}
+}
+
+func TestFitLinearExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := FitLinear(xs, ys)
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 3, 1e-12) {
+		t.Fatalf("fit %+v", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitLinearNoisy(t *testing.T) {
+	rng := xrand.New(3)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i)
+		xs = append(xs, x)
+		ys = append(ys, 3*x-7+rng.NormFloat64()*5)
+	}
+	f := FitLinear(xs, ys)
+	if !almostEqual(f.Slope, 3, 0.05) {
+		t.Fatalf("slope = %v", f.Slope)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R2 = %v", f.R2)
+	}
+}
+
+func TestFitLinearDegenerate(t *testing.T) {
+	f := FitLinear([]float64{1}, []float64{2})
+	if !math.IsNaN(f.Slope) {
+		t.Fatal("single-point fit not NaN")
+	}
+	f = FitLinear([]float64{2, 2, 2}, []float64{1, 2, 3})
+	if !math.IsNaN(f.Slope) {
+		t.Fatal("zero-variance fit not NaN")
+	}
+	// Perfectly flat y: slope 0, R2 defined as 1.
+	f = FitLinear([]float64{1, 2, 3}, []float64{4, 4, 4})
+	if f.Slope != 0 || f.R2 != 1 {
+		t.Fatalf("flat fit %+v", f)
+	}
+}
+
+func TestFitLinearMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	FitLinear([]float64{1}, []float64{1, 2})
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 5 x^1.7
+	var xs, ys []float64
+	for _, x := range []float64{1, 2, 4, 8, 16, 32} {
+		xs = append(xs, x)
+		ys = append(ys, 5*math.Pow(x, 1.7))
+	}
+	alpha, c, r2 := FitPowerLaw(xs, ys)
+	if !almostEqual(alpha, 1.7, 1e-9) || !almostEqual(c, 5, 1e-9) || !almostEqual(r2, 1, 1e-9) {
+		t.Fatalf("power fit: alpha=%v c=%v r2=%v", alpha, c, r2)
+	}
+	// Non-positive input.
+	alpha, _, _ = FitPowerLaw([]float64{0, 1}, []float64{1, 2})
+	if !math.IsNaN(alpha) {
+		t.Fatal("non-positive input not NaN")
+	}
+}
+
+func TestFitLogarithm(t *testing.T) {
+	// y = 4 ln x + 1
+	var xs, ys []float64
+	for _, x := range []float64{2, 4, 8, 16, 32, 64} {
+		xs = append(xs, x)
+		ys = append(ys, 4*math.Log(x)+1)
+	}
+	f := FitLogarithm(xs, ys)
+	if !almostEqual(f.Slope, 4, 1e-9) || !almostEqual(f.Intercept, 1, 1e-9) {
+		t.Fatalf("log fit %+v", f)
+	}
+	if f := FitLogarithm([]float64{-1, 2}, []float64{1, 2}); !math.IsNaN(f.Slope) {
+		t.Fatal("negative x not NaN")
+	}
+}
+
+func TestRatioSpread(t *testing.T) {
+	ys := []float64{10, 20, 30}
+	fs := []float64{5, 10, 15} // constant ratio 2
+	if r := RatioSpread(ys, fs); !almostEqual(r, 1, 1e-12) {
+		t.Fatalf("spread = %v", r)
+	}
+	ys = []float64{10, 40}
+	fs = []float64{10, 10}
+	if r := RatioSpread(ys, fs); !almostEqual(r, 4, 1e-12) {
+		t.Fatalf("spread = %v", r)
+	}
+	if r := RatioSpread([]float64{1}, []float64{0}); !math.IsInf(r, 1) {
+		t.Fatalf("zero denominator spread = %v", r)
+	}
+	if r := RatioSpread(nil, nil); !math.IsNaN(r) {
+		t.Fatalf("empty spread = %v", r)
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int{1, 2, 3})
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Ints = %v", got)
+	}
+}
+
+// Property: mean is within [min, max]; quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		prev := math.Inf(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		m := Mean(xs)
+		return m >= Quantile(xs, 0)-1e-9 && m <= Quantile(xs, 1)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChiSquareUniform(t *testing.T) {
+	// Perfectly uniform counts: statistic 0.
+	chi2, df := ChiSquareUniform([]int{10, 10, 10, 10})
+	if chi2 != 0 || df != 3 {
+		t.Fatalf("chi2=%v df=%d", chi2, df)
+	}
+	// Grossly non-uniform.
+	chi2, _ = ChiSquareUniform([]int{100, 0, 0, 0})
+	if chi2 < 100 {
+		t.Fatalf("skewed chi2 = %v", chi2)
+	}
+	if !ChiSquareLooksUniform([]int{10, 12, 9, 11, 8}, 5) {
+		t.Fatal("near-uniform rejected")
+	}
+	if ChiSquareLooksUniform([]int{1000, 1, 1, 1}, 5) {
+		t.Fatal("skewed accepted")
+	}
+	// Degenerate inputs.
+	if c, _ := ChiSquareUniform([]int{5}); !math.IsNaN(c) {
+		t.Fatal("single bucket not NaN")
+	}
+	if c, _ := ChiSquareUniform([]int{0, 0}); !math.IsNaN(c) {
+		t.Fatal("zero total not NaN")
+	}
+	if ChiSquareLooksUniform([]int{7}, 5) {
+		t.Fatal("degenerate accepted")
+	}
+}

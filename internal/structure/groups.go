@@ -1,0 +1,156 @@
+package structure
+
+// The second half of Lemma 3: vertices of a layer T_i(u) that have exactly
+// one parent in T_{i-1}(u) "can be grouped in disjoint subsets of size
+// O(pn) so that all vertices within one subgroup are connected to the same
+// vertex in T_{i-1}(u), and two vertices from different subgroups do not
+// have any common neighbors".
+//
+// Grouping layer members by their unique parent realises exactly that
+// decomposition; GroupProfile measures how large the groups get (should
+// be O(d)) and how often distinct groups share a common neighbour (should
+// be rare).
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ParentGroup is one subgroup of a layer: the members of T_i(u) whose
+// unique parent in T_{i-1}(u) is Parent.
+type ParentGroup struct {
+	Parent  int32
+	Members []int32
+}
+
+// GroupProfile summarises the Lemma 3 grouping of one layer.
+type GroupProfile struct {
+	Depth int
+	// Groups maps each parent to its single-parent children, sorted by
+	// parent id.
+	Groups []ParentGroup
+	// MultiParent counts layer members excluded from the grouping because
+	// they have two or more parents.
+	MultiParent int
+	// MaxGroupSize is the largest group (Lemma 3: O(pn) = O(d)).
+	MaxGroupSize int
+	// CrossPairsSharingNeighbor counts pairs of distinct groups that
+	// violate the "no common neighbors across subgroups" property, where
+	// a violating pair has some member of one group sharing any common
+	// neighbour with some member of the other (parents excluded).
+	CrossPairsSharingNeighbor int
+	// GroupPairsChecked is the number of group pairs examined (the
+	// violation denominator). For large layers the check samples at most
+	// maxPairChecks pairs.
+	GroupPairsChecked int
+}
+
+const maxPairChecks = 2000
+
+// GroupLayer computes the Lemma 3 grouping of the layer at the given
+// depth from src. Depth must be at least 1.
+func GroupLayer(g *graph.Graph, src int32, depth int) *GroupProfile {
+	if depth < 1 {
+		panic("structure: GroupLayer needs depth >= 1")
+	}
+	dist := graph.Distances(g, src)
+	prof := &GroupProfile{Depth: depth}
+	groups := make(map[int32][]int32)
+	for v := 0; v < g.N(); v++ {
+		if dist[v] != int32(depth) {
+			continue
+		}
+		var parent int32 = -1
+		parents := 0
+		for _, w := range g.Neighbors(int32(v)) {
+			if dist[w] == int32(depth-1) {
+				parents++
+				parent = w
+			}
+		}
+		if parents == 1 {
+			groups[parent] = append(groups[parent], int32(v))
+		} else if parents > 1 {
+			prof.MultiParent++
+		}
+	}
+	parents := make([]int32, 0, len(groups))
+	for p := range groups {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool { return parents[i] < parents[j] })
+	for _, p := range parents {
+		members := groups[p]
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		prof.Groups = append(prof.Groups, ParentGroup{Parent: p, Members: members})
+		if len(members) > prof.MaxGroupSize {
+			prof.MaxGroupSize = len(members)
+		}
+	}
+	prof.countCrossViolations(g)
+	return prof
+}
+
+// countCrossViolations checks pairs of groups for shared neighbours
+// (excluding the groups' own parents, which both groups may legitimately
+// see through intra-layer edges — the lemma's exclusion).
+func (p *GroupProfile) countCrossViolations(g *graph.Graph) {
+	k := len(p.Groups)
+	if k < 2 {
+		return
+	}
+	// Neighbour sets per group, excluding members and parents.
+	neighborSets := make([]map[int32]bool, k)
+	parentOf := make(map[int32]bool, k)
+	for _, gr := range p.Groups {
+		parentOf[gr.Parent] = true
+	}
+	for i, gr := range p.Groups {
+		set := make(map[int32]bool)
+		for _, v := range gr.Members {
+			for _, w := range g.Neighbors(v) {
+				if !parentOf[w] {
+					set[w] = true
+				}
+			}
+		}
+		neighborSets[i] = set
+	}
+	checked := 0
+	for i := 0; i < k && checked < maxPairChecks; i++ {
+		for j := i + 1; j < k && checked < maxPairChecks; j++ {
+			checked++
+			small, big := neighborSets[i], neighborSets[j]
+			if len(big) < len(small) {
+				small, big = big, small
+			}
+			for w := range small {
+				if big[w] {
+					p.CrossPairsSharingNeighbor++
+					break
+				}
+			}
+		}
+	}
+	p.GroupPairsChecked = checked
+}
+
+// SinglyParented returns the number of layer members covered by the
+// grouping.
+func (p *GroupProfile) SinglyParented() int {
+	total := 0
+	for _, gr := range p.Groups {
+		total += len(gr.Members)
+	}
+	return total
+}
+
+// ViolationRate returns the fraction of checked group pairs sharing a
+// neighbour, or 0 when no pairs were checked.
+func (p *GroupProfile) ViolationRate() float64 {
+	if p.GroupPairsChecked == 0 {
+		return 0
+	}
+	return float64(p.CrossPairsSharingNeighbor) / float64(p.GroupPairsChecked)
+}

@@ -1,0 +1,121 @@
+package structure
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+func TestGroupLayerOnTree(t *testing.T) {
+	// Perfect binary tree: every depth-2 vertex has exactly one parent;
+	// groups are the sibling pairs; no cross-group shared neighbours
+	// beyond... siblings of different groups share the root? Children of
+	// different depth-1 parents: group A = {3,4} (parent 1), group B =
+	// {5,6} (parent 2). Neighbours of A (excluding parents): its children
+	// {7..10}; of B: {11..14}. Disjoint.
+	b := graph.NewBuilder(15)
+	for i := 1; i < 15; i++ {
+		b.AddEdge(int32(i), int32((i-1)/2))
+	}
+	g := b.Build()
+	p := GroupLayer(g, 0, 2)
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(p.Groups))
+	}
+	if p.MaxGroupSize != 2 {
+		t.Fatalf("max group size %d", p.MaxGroupSize)
+	}
+	if p.MultiParent != 0 {
+		t.Fatalf("multi-parent %d on a tree", p.MultiParent)
+	}
+	if p.CrossPairsSharingNeighbor != 0 {
+		t.Fatalf("tree groups share neighbours: %d", p.CrossPairsSharingNeighbor)
+	}
+	if p.SinglyParented() != 4 {
+		t.Fatalf("singly parented %d", p.SinglyParented())
+	}
+}
+
+func TestGroupLayerDetectsViolations(t *testing.T) {
+	// Two groups at depth 1... need depth >= 1 with distinct parents at
+	// depth 0 — impossible from a single source. Use depth 2: source 0,
+	// parents 1 and 2, children 3 (of 1) and 4 (of 2), plus a shared
+	// neighbour 5 adjacent to both 3 and 4.
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 4)
+	b.AddEdge(3, 5)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	p := GroupLayer(g, 0, 2)
+	if len(p.Groups) != 2 {
+		t.Fatalf("groups = %d", len(p.Groups))
+	}
+	if p.CrossPairsSharingNeighbor != 1 {
+		t.Fatalf("violations = %d, want 1", p.CrossPairsSharingNeighbor)
+	}
+	if p.ViolationRate() != 1 {
+		t.Fatalf("violation rate %v", p.ViolationRate())
+	}
+}
+
+func TestGroupLayerMultiParentExcluded(t *testing.T) {
+	// Vertex 3 has parents 1 and 2: excluded from grouping.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 3)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	p := GroupLayer(g, 0, 2)
+	if p.MultiParent != 1 {
+		t.Fatalf("multi-parent = %d", p.MultiParent)
+	}
+	if p.SinglyParented() != 0 {
+		t.Fatalf("singly parented = %d", p.SinglyParented())
+	}
+}
+
+func TestGroupLayerLemma3OnGnp(t *testing.T) {
+	// Lemma 3's grouping regime needs the layers involved to be far from
+	// saturating the graph: a cross-group pair shares a neighbour with
+	// probability ≈ d⁴/n per group pair, so pick d with d⁴ ≪ n. The
+	// graph may be below the connectivity threshold; BFS from inside the
+	// giant component is all the grouping needs.
+	const n = 20000
+	const d = 7.0
+	rng := xrand.New(1)
+	g := gen.Gnp(n, gen.PForDegree(n, d), rng)
+	src := graph.LargestComponent(g)[0]
+	p := GroupLayer(g, src, 2)
+	if p.MaxGroupSize > int(6*d) {
+		t.Fatalf("max group size %d exceeds 6d = %.0f", p.MaxGroupSize, 6*d)
+	}
+	if len(p.Groups) == 0 {
+		t.Fatal("no groups at depth 2")
+	}
+	// Expected violating fraction ≈ d⁴/n ≈ 0.12; assert well below 1/2.
+	if rate := p.ViolationRate(); rate > 0.5 {
+		t.Fatalf("cross-group violation rate %v, want << 1 in the d⁴ << n regime", rate)
+	}
+}
+
+func TestGroupLayerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("depth 0 did not panic")
+		}
+	}()
+	GroupLayer(gen.Path(3), 0, 0)
+}
+
+func TestViolationRateNoGroups(t *testing.T) {
+	p := &GroupProfile{}
+	if p.ViolationRate() != 0 {
+		t.Fatal("empty profile rate nonzero")
+	}
+}

@@ -1,0 +1,83 @@
+// Package sweep runs experiment trials, fanning independent trials out to
+// a worker pool and collecting per-configuration samples. Every trial gets
+// a deterministic derived seed, so sweeps are reproducible regardless of
+// scheduling order.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/xrand"
+)
+
+// Trial is a single experiment execution: given a deterministic RNG it
+// returns one scalar measurement.
+type Trial func(rng *xrand.Rand) float64
+
+// Run executes the trial `trials` times with seeds derived from baseSeed
+// and returns the measurements ordered by trial index. Trials run
+// concurrently on up to GOMAXPROCS goroutines.
+func Run(trials int, baseSeed uint64, trial Trial) []float64 {
+	out := make([]float64, trials)
+	if trials <= 0 {
+		return out[:0]
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parent := xrand.New(baseSeed)
+	// Pre-derive seeds sequentially so results are independent of worker
+	// interleaving.
+	rngs := make([]*xrand.Rand, trials)
+	for i := range rngs {
+		rngs[i] = parent.Derive(uint64(i) + 1)
+	}
+	if workers == 1 {
+		for i := 0; i < trials; i++ {
+			out[i] = trial(rngs[i])
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = trial(rngs[i])
+			}
+		}()
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Point is one configuration of a 1-D sweep with its measurements.
+type Point struct {
+	X       float64   // the swept parameter (n, d, f, ...)
+	Label   string    // optional display label
+	Samples []float64 // per-trial measurements
+}
+
+// Sweep1D runs `trials` trials of `trial(x)` for every x in xs; trial
+// factories receive the parameter and must return a Trial closure.
+func Sweep1D(xs []float64, trials int, baseSeed uint64, factory func(x float64) Trial) []Point {
+	points := make([]Point, len(xs))
+	for i, x := range xs {
+		points[i] = Point{
+			X:       x,
+			Samples: Run(trials, baseSeed+uint64(i)*1_000_003, factory(x)),
+		}
+	}
+	return points
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestRunDeterministic(t *testing.T) {
+	trial := func(rng *xrand.Rand) float64 { return float64(rng.Intn(1000000)) }
+	a := Run(20, 42, trial)
+	b := Run(20, 42, trial)
+	if len(a) != 20 {
+		t.Fatalf("got %d samples", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d not deterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunSeedsDiffer(t *testing.T) {
+	trial := func(rng *xrand.Rand) float64 { return float64(rng.Intn(1 << 30)) }
+	samples := Run(50, 7, trial)
+	same := 0
+	for i := 1; i < len(samples); i++ {
+		if samples[i] == samples[0] {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("%d trials repeated the first trial's value", same)
+	}
+}
+
+func TestRunDifferentBaseSeeds(t *testing.T) {
+	trial := func(rng *xrand.Rand) float64 { return float64(rng.Intn(1 << 30)) }
+	a := Run(10, 1, trial)
+	b := Run(10, 2, trial)
+	identical := true
+	for i := range a {
+		if a[i] != b[i] {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("different base seeds gave identical sweeps")
+	}
+}
+
+func TestRunZeroTrials(t *testing.T) {
+	if got := Run(0, 1, func(rng *xrand.Rand) float64 { return 1 }); len(got) != 0 {
+		t.Fatalf("zero trials returned %v", got)
+	}
+}
+
+func TestSweep1D(t *testing.T) {
+	xs := []float64{10, 20, 30}
+	points := Sweep1D(xs, 5, 99, func(x float64) Trial {
+		return func(rng *xrand.Rand) float64 { return x + float64(rng.Intn(3)) }
+	})
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i, p := range points {
+		if p.X != xs[i] {
+			t.Fatalf("point %d x = %v", i, p.X)
+		}
+		if len(p.Samples) != 5 {
+			t.Fatalf("point %d has %d samples", i, len(p.Samples))
+		}
+		for _, s := range p.Samples {
+			if s < p.X || s >= p.X+3 {
+				t.Fatalf("sample %v out of expected range for x=%v", s, p.X)
+			}
+		}
+	}
+}
+
+func TestSweep1DDeterministic(t *testing.T) {
+	factory := func(x float64) Trial {
+		return func(rng *xrand.Rand) float64 { return x * float64(rng.Intn(100)) }
+	}
+	a := Sweep1D([]float64{1, 2}, 4, 5, factory)
+	b := Sweep1D([]float64{1, 2}, 4, 5, factory)
+	for i := range a {
+		for j := range a[i].Samples {
+			if a[i].Samples[j] != b[i].Samples[j] {
+				t.Fatal("sweep not deterministic")
+			}
+		}
+	}
+}
+
+func TestRunParallelPath(t *testing.T) {
+	// This machine may have GOMAXPROCS == 1, which exercises only the
+	// sequential path; force parallel workers and check determinism and
+	// completeness are preserved.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	trial := func(rng *xrand.Rand) float64 { return float64(rng.Intn(1 << 30)) }
+	par := Run(40, 42, trial)
+	runtime.GOMAXPROCS(1)
+	seq := Run(40, 42, trial)
+	if len(par) != 40 || len(seq) != 40 {
+		t.Fatal("wrong lengths")
+	}
+	for i := range par {
+		if par[i] != seq[i] {
+			t.Fatalf("parallel and sequential sweeps diverge at %d", i)
+		}
+	}
+}
+
+func TestRunMoreWorkersThanTrials(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	got := Run(3, 7, func(rng *xrand.Rand) float64 { return 1 })
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+}

@@ -1,0 +1,184 @@
+// Package table renders experiment results as aligned plain-text tables,
+// Markdown tables, or CSV. The experiment harness prints one table per
+// reproduced claim; EXPERIMENTS.md embeds the Markdown form.
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Table is a rectangular grid of cells with a header row and a title.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string // free-form footnotes rendered under the table
+}
+
+// New returns an empty table with the given title and column headers.
+func New(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row. Values are formatted with %v; float64 values are
+// rendered with 4 significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case float32:
+			row[i] = formatFloat(float64(v))
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 0.01 || v <= -0.01:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3e", v)
+	}
+}
+
+// widths returns per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		w[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(w) && len(cell) > w[i] {
+				w[i] = len(cell)
+			}
+		}
+	}
+	return w
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	w := t.widths()
+	writeRow := func(cells []string) {
+		for i := range t.Columns {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, note := range t.Notes {
+		b.WriteString("  note: ")
+		b.WriteString(note)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		copy(cells, row)
+		b.WriteString("| " + strings.Join(cells, " | ") + " |\n")
+	}
+	for _, note := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", note)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header first). Cells
+// containing commas or quotes are quoted.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteString(`"` + strings.ReplaceAll(c, `"`, `""`) + `"`)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		copy(cells, row)
+		writeRow(cells)
+	}
+	return b.String()
+}
+
+// JSON renders the table as a JSON object with title, columns, rows (as
+// string matrices) and notes — the machine-readable form for downstream
+// tooling.
+func (t *Table) JSON() (string, error) {
+	type doc struct {
+		Title   string     `json:"title,omitempty"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes,omitempty"`
+	}
+	rows := make([][]string, len(t.Rows))
+	for i, r := range t.Rows {
+		row := make([]string, len(t.Columns))
+		copy(row, r)
+		rows[i] = row
+	}
+	b, err := json.MarshalIndent(doc{t.Title, t.Columns, rows, t.Notes}, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

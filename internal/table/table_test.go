@@ -1,0 +1,143 @@
+package table
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestStringAlignment(t *testing.T) {
+	tb := New("demo", "name", "value")
+	tb.AddRow("short", 1)
+	tb.AddRow("a-much-longer-name", 123456)
+	s := tb.String()
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if lines[0] != "demo" {
+		t.Fatalf("title line %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "----") {
+		t.Fatalf("separator %q", lines[2])
+	}
+	// Columns align: the "value" column must start at the same offset in
+	// every data row.
+	off3 := strings.Index(lines[3], "1")
+	off4 := strings.Index(lines[4], "123456")
+	if off3 != off4 {
+		t.Fatalf("misaligned columns:\n%s", s)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	tb := New("", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(3.0)
+	tb.AddRow(3.14159)
+	tb.AddRow(12345.6)
+	tb.AddRow(0.0001234)
+	s := tb.String()
+	for _, want := range []string{"0", "3", "3.142", "12345.6", "1.234e-04"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestNotes(t *testing.T) {
+	tb := New("t", "a")
+	tb.AddRow(1)
+	tb.AddNote("trials=%d", 5)
+	if !strings.Contains(tb.String(), "note: trials=5") {
+		t.Fatalf("missing note:\n%s", tb.String())
+	}
+	if !strings.Contains(tb.Markdown(), "*trials=5*") {
+		t.Fatalf("missing markdown note:\n%s", tb.Markdown())
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tb := New("My Title", "x", "y")
+	tb.AddRow(1, 2)
+	md := tb.Markdown()
+	for _, want := range []string{"**My Title**", "| x | y |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("ignored", "a", "b")
+	tb.AddRow("x,y", `q"q`)
+	tb.AddRow(1, 2)
+	csv := tb.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if lines[1] != `"x,y","q""q"` {
+		t.Fatalf("csv quoting %q", lines[1])
+	}
+	if lines[2] != "1,2" {
+		t.Fatalf("csv row %q", lines[2])
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Rows = append(tb.Rows, []string{"only-one"})
+	// Must not panic and must emit all columns.
+	s := tb.String()
+	if !strings.Contains(s, "only-one") {
+		t.Fatal("row lost")
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "only-one,,") {
+		t.Fatalf("csv padding wrong: %q", csv)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	tb := New("j", "a", "b")
+	tb.AddRow(1, "x")
+	tb.AddNote("n1")
+	out, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if doc.Title != "j" || len(doc.Columns) != 2 || len(doc.Rows) != 1 || doc.Rows[0][0] != "1" {
+		t.Fatalf("doc %+v", doc)
+	}
+	if len(doc.Notes) != 1 || doc.Notes[0] != "n1" {
+		t.Fatalf("notes %v", doc.Notes)
+	}
+}
+
+func TestJSONShortRowPadded(t *testing.T) {
+	tb := New("", "a", "b", "c")
+	tb.Rows = append(tb.Rows, []string{"only"})
+	out, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", doc.Rows[0])
+	}
+}

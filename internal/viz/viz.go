@@ -1,0 +1,134 @@
+// Package viz renders tiny terminal visualisations — sparklines and
+// horizontal bar histograms — used by the CLI tools to show broadcast
+// progress curves and degree distributions without leaving the terminal.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode sparkline scaled to the
+// data range. Empty input yields an empty string; NaNs render as spaces.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return strings.Repeat(" ", len(values))
+	}
+	var b strings.Builder
+	span := hi - lo
+	for _, v := range values {
+		if math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkLevels)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkLevels) {
+			idx = len(sparkLevels) - 1
+		}
+		b.WriteRune(sparkLevels[idx])
+	}
+	return b.String()
+}
+
+// Histogram renders labelled counts as horizontal bars at most width
+// characters wide, one line per bucket:
+//
+//	label |█████████ 42
+func Histogram(labels []string, counts []int, width int) string {
+	if len(labels) != len(counts) {
+		panic("viz: labels/counts length mismatch")
+	}
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 0
+	labelWidth := 0
+	for i, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+		if len(labels[i]) > labelWidth {
+			labelWidth = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	for i, c := range counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %d\n", labelWidth, labels[i], strings.Repeat("█", bar), c)
+	}
+	return b.String()
+}
+
+// Buckets groups integer values into k equal-width buckets over their
+// range and returns labels plus counts, ready for Histogram. Returns nil
+// slices for empty input.
+func Buckets(values []int, k int) (labels []string, counts []int) {
+	if len(values) == 0 || k < 1 {
+		return nil, nil
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		return []string{fmt.Sprintf("%d", lo)}, []int{len(values)}
+	}
+	span := hi - lo + 1
+	if k > span {
+		k = span
+	}
+	counts = make([]int, k)
+	labels = make([]string, k)
+	for i := range labels {
+		bLo := lo + i*span/k
+		bHi := lo + (i+1)*span/k - 1
+		if bLo == bHi {
+			labels[i] = fmt.Sprintf("%d", bLo)
+		} else {
+			labels[i] = fmt.Sprintf("%d-%d", bLo, bHi)
+		}
+	}
+	for _, v := range values {
+		i := (v - lo) * k / span
+		if i >= k {
+			i = k - 1
+		}
+		counts[i]++
+	}
+	return labels, counts
+}

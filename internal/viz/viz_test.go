@@ -1,0 +1,117 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineBasics(t *testing.T) {
+	if s := Sparkline(nil); s != "" {
+		t.Fatalf("empty sparkline %q", s)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	runes := []rune(s)
+	if len(runes) != 8 {
+		t.Fatalf("sparkline length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Fatalf("sparkline extremes %q", s)
+	}
+	// Monotone input -> monotone glyphs.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Fatalf("sparkline not monotone: %q", s)
+		}
+	}
+}
+
+func TestSparklineFlat(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5})
+	if len([]rune(s)) != 3 {
+		t.Fatalf("flat sparkline %q", s)
+	}
+	for _, r := range s {
+		if r != '▁' {
+			t.Fatalf("flat sparkline should use the lowest glyph: %q", s)
+		}
+	}
+}
+
+func TestSparklineNaN(t *testing.T) {
+	s := Sparkline([]float64{math.NaN(), 1, math.NaN()})
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[2] != ' ' {
+		t.Fatalf("NaN rendering %q", s)
+	}
+	all := Sparkline([]float64{math.NaN()})
+	if all != " " {
+		t.Fatalf("all-NaN %q", all)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	out := Histogram([]string{"a", "bb"}, []int{2, 4}, 8)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("histogram lines %d", len(lines))
+	}
+	if !strings.Contains(lines[1], strings.Repeat("█", 8)) {
+		t.Fatalf("max bucket not full width: %q", lines[1])
+	}
+	if !strings.Contains(lines[0], strings.Repeat("█", 4)) {
+		t.Fatalf("half bucket wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[0], " 2") || !strings.Contains(lines[1], " 4") {
+		t.Fatal("counts missing")
+	}
+}
+
+func TestHistogramNonZeroGetsAtLeastOneBar(t *testing.T) {
+	out := Histogram([]string{"tiny", "huge"}, []int{1, 1000}, 10)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "█") {
+		t.Fatalf("nonzero count has no bar: %q", lines[0])
+	}
+}
+
+func TestHistogramMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatch did not panic")
+		}
+	}()
+	Histogram([]string{"a"}, []int{1, 2}, 10)
+}
+
+func TestBuckets(t *testing.T) {
+	labels, counts := Buckets([]int{1, 2, 3, 4, 5, 6, 7, 8}, 4)
+	if len(labels) != 4 || len(counts) != 4 {
+		t.Fatalf("buckets %v %v", labels, counts)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 8 {
+		t.Fatalf("bucket counts sum %d", total)
+	}
+	if counts[0] != 2 || counts[3] != 2 {
+		t.Fatalf("uniform data unevenly bucketed: %v", counts)
+	}
+}
+
+func TestBucketsDegenerate(t *testing.T) {
+	if l, c := Buckets(nil, 4); l != nil || c != nil {
+		t.Fatal("empty buckets not nil")
+	}
+	l, c := Buckets([]int{7, 7, 7}, 4)
+	if len(l) != 1 || c[0] != 3 || l[0] != "7" {
+		t.Fatalf("constant buckets %v %v", l, c)
+	}
+	// k larger than span collapses to span buckets.
+	l, _ = Buckets([]int{1, 2}, 10)
+	if len(l) != 2 {
+		t.Fatalf("span clamp gave %d buckets", len(l))
+	}
+}

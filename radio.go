@@ -1,0 +1,156 @@
+// Package repro is a library for radio broadcasting in random graphs,
+// reproducing R. Elsässer and L. Gąsieniec, "Radio communication in random
+// graphs" (SPAA 2005; JCSS 72(4), 2006).
+//
+// The radio model: communication proceeds in synchronous rounds; in each
+// round a node either transmits or listens; a listening node receives a
+// message iff exactly one of its neighbours transmits (two or more
+// collide and deliver nothing).
+//
+// The package exposes, through a small facade over the internal
+// implementation:
+//
+//   - Random-graph generation: Gnp, GnpDegree, Gnm and deterministic
+//     topologies (see internal/gen for the full set).
+//   - The paper's centralized O(ln n/ln d + ln d) broadcast schedule
+//     (Theorem 5): BuildSchedule / ExecuteSchedule.
+//   - The paper's distributed randomized O(ln n) protocol (Theorem 7):
+//     NewProtocol / Broadcast, plus RunProtocol for custom protocols.
+//   - The theoretical bounds the measurements are compared against:
+//     CentralizedBound, DistributedBound.
+//
+// # Quickstart
+//
+//	rng := repro.NewRand(1)
+//	g := repro.GnpDegree(100_000, 25, rng)       // G(n,p) with E[deg] = 25
+//	res := repro.Broadcast(g, 0, 25, rng)        // distributed protocol
+//	fmt.Println(res.Completed, res.Rounds)
+//
+//	sched, err := repro.BuildSchedule(g, 0, 25, 1) // centralized (Thm 5)
+//	if err != nil { ... }
+//	res, err = repro.ExecuteSchedule(g, 0, sched)
+//
+// The runnable examples under examples/ exercise these entry points on the
+// scenarios from the paper's motivation; cmd/experiments regenerates every
+// experiment in EXPERIMENTS.md.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Aliased types so callers can use the library without reaching into
+// internal packages.
+type (
+	// Graph is an immutable simple undirected graph in CSR form.
+	Graph = graph.Graph
+	// Builder accumulates edges for a Graph.
+	Builder = graph.Builder
+	// Schedule is an explicit per-round transmit schedule.
+	Schedule = radio.Schedule
+	// Result reports a broadcast simulation outcome.
+	Result = radio.Result
+	// Protocol decides, per informed node and round, whether to transmit.
+	Protocol = radio.Protocol
+	// ProtocolFunc adapts a function to Protocol.
+	ProtocolFunc = radio.ProtocolFunc
+	// Rand is the deterministic random source used everywhere.
+	Rand = xrand.Rand
+	// Engine is the low-level round-by-round radio simulator.
+	Engine = radio.Engine
+)
+
+// NewRand returns a deterministic random source seeded with seed.
+func NewRand(seed uint64) *Rand { return xrand.New(seed) }
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// Gnp samples the Gilbert random graph G(n,p).
+func Gnp(n int, p float64, rng *Rand) *Graph { return gen.Gnp(n, p, rng) }
+
+// GnpDegree samples G(n, d/n): a random graph with expected average degree
+// d (the paper's parametrisation d = pn).
+func GnpDegree(n int, d float64, rng *Rand) *Graph {
+	return gen.Gnp(n, gen.PForDegree(n, d), rng)
+}
+
+// ConnectedGnpDegree samples G(n, d/n) conditioned on connectivity (up to
+// 100 attempts). ok reports whether a connected sample was found.
+func ConnectedGnpDegree(n int, d float64, rng *Rand) (g *Graph, ok bool) {
+	g, _, ok = gen.ConnectedGnp(n, gen.PForDegree(n, d), rng, 100)
+	return g, ok
+}
+
+// Gnm samples the Erdős–Rényi random graph G(n,m) with exactly m edges.
+func Gnm(n, m int, rng *Rand) *Graph { return gen.Gnm(n, m, rng) }
+
+// NewEngine returns a low-level simulator in which only src knows the
+// message; drive it with Engine.Round. Schedules containing uninformed
+// transmitters are rejected.
+func NewEngine(g *Graph, src int32) *Engine {
+	return radio.NewEngine(g, src, radio.StrictInformed)
+}
+
+// BuildSchedule constructs the paper's centralized broadcast schedule
+// (Theorem 5) for a connected graph g with expected average degree d. The
+// seed drives the schedule's randomized choices; the same (g, src, d,
+// seed) always yields the same schedule. The schedule length is
+// O(ln n / ln d + ln d) w.h.p. on G(n, d/n).
+func BuildSchedule(g *Graph, src int32, d float64, seed uint64) (*Schedule, error) {
+	sched, _, err := core.BuildCentralizedSchedule(g, src, d, core.DefaultCentralizedConfig(seed))
+	return sched, err
+}
+
+// ExecuteSchedule replays a schedule on g from src under the strict radio
+// model and returns the result.
+func ExecuteSchedule(g *Graph, src int32, s *Schedule) (Result, error) {
+	return radio.ExecuteSchedule(g, src, s, radio.StrictInformed)
+}
+
+// NewProtocol returns the paper's distributed randomized protocol
+// (Theorem 7) for n nodes and expected degree d. Nodes need only n, d and
+// the shared round number; completion takes O(ln n) rounds w.h.p.
+func NewProtocol(n int, d float64) Protocol {
+	return core.NewDistributedProtocol(n, d)
+}
+
+// Broadcast runs the paper's distributed protocol on g from src with a
+// generous round budget and returns the result.
+func Broadcast(g *Graph, src int32, d float64, rng *Rand) Result {
+	return core.RunDistributed(g, src, d, rng)
+}
+
+// RunProtocol simulates an arbitrary distributed protocol for at most
+// maxRounds rounds.
+func RunProtocol(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) Result {
+	return radio.RunProtocol(g, src, p, maxRounds, rng)
+}
+
+// BroadcastTime runs p and returns the completion round, or maxRounds+1
+// if the broadcast did not finish (a sentinel that keeps failed runs
+// comparable).
+func BroadcastTime(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) int {
+	return radio.BroadcastTime(g, src, p, maxRounds, rng)
+}
+
+// CentralizedBound returns the Theorem 5/6 bound ln n / ln d + ln d.
+func CentralizedBound(n int, d float64) float64 { return core.CentralizedBound(n, d) }
+
+// DistributedBound returns the Theorem 7/8 bound ln n.
+func DistributedBound(n int) float64 { return core.DistributedBound(n) }
+
+// MaxRounds returns a generous round budget for distributed broadcasts on
+// n nodes (well beyond the Θ(ln n) completion bound).
+func MaxRounds(n int) int { return core.MaxRoundsFor(n) }
+
+// IsConnected reports whether g is connected.
+func IsConnected(g *Graph) bool { return graph.IsConnected(g) }
+
+// Eccentricity returns the BFS eccentricity of src — a true lower bound on
+// any broadcast time from src.
+func Eccentricity(g *Graph, src int32) int { return graph.Eccentricity(g, src) }
