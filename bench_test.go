@@ -69,6 +69,103 @@ func BenchmarkE20PipelineThroughput(b *testing.B)    { runExperiment(b, "E20") }
 func BenchmarkE21LeaderElection(b *testing.B)        { runExperiment(b, "E21") }
 func BenchmarkE22ConnectivityThreshold(b *testing.B) { runExperiment(b, "E22") }
 
+// --- fast-path micro-benchmarks --------------------------------------------
+//
+// BenchmarkBuilderBuild, BenchmarkGnp and BenchmarkBroadcast are the three
+// benchmarks tracked in BENCH_0.json (the recorded baseline of the
+// simulation fast path): CSR construction, G(n,p) generation and one full
+// distributed broadcast. Regenerate the numbers with:
+//
+//	go test -run=^$ -bench='BenchmarkBuilderBuild$|BenchmarkGnp$|BenchmarkBroadcast$' -benchmem
+
+// benchEdges returns a fixed random edge list with n=100k, E[deg]=25
+// (about 1.25M edges), shared by the build benchmarks.
+func benchEdges() (int, [][2]int32) {
+	const n = 100000
+	rng := NewRand(11)
+	g := GnpDegree(n, 25, rng)
+	edges := make([][2]int32, 0, g.M())
+	g.Edges(func(u, v int32) bool {
+		edges = append(edges, [2]int32{u, v})
+		return true
+	})
+	return n, edges
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	n, edges := benchEdges()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bl := NewBuilder(n)
+		bl.Grow(len(edges))
+		for _, e := range edges {
+			bl.AddEdge(e[0], e[1])
+		}
+		b.StartTimer()
+		g := bl.Build()
+		if g.M() != len(edges) {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkGnp(b *testing.B) {
+	rng := NewRand(12)
+	const n = 100000
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := GnpDegree(n, 25, rng)
+		if g.N() != n {
+			b.Fatal("bad graph")
+		}
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	rng := NewRand(13)
+	const n = 100000
+	const d = 25.0
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := Broadcast(g, 0, d, rng)
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkBroadcastReuse is BenchmarkBroadcast on the engine-reuse fast
+// path: one caller-owned engine driven by BroadcastTimeOn, so steady-state
+// trials allocate nothing. Compare with BenchmarkBroadcast to see the
+// per-trial allocation cost the reuse API removes.
+func BenchmarkBroadcastReuse(b *testing.B) {
+	rng := NewRand(13)
+	const n = 100000
+	const d = 25.0
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	e := NewEngine(g, 0)
+	p := NewProtocol(n, d)
+	budget := MaxRounds(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if BroadcastTimeOn(e, p, budget, rng) > budget {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
 // --- substrate micro-benchmarks --------------------------------------------
 
 func BenchmarkSubstrateGnpGeneration(b *testing.B) {

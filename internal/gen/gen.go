@@ -39,7 +39,7 @@ func Gnp(n int, p float64, rng *xrand.Rand) *graph.Graph {
 	if p == 1 {
 		for u := 0; u < n; u++ {
 			for v := u + 1; v < n; v++ {
-				b.AddEdge(int32(u), int32(v))
+				b.AddEdgeUnchecked(int32(u), int32(v))
 			}
 		}
 		return b.Build()
@@ -60,12 +60,16 @@ func Gnp(n int, p float64, rng *xrand.Rand) *graph.Graph {
 		}
 		return true
 	}
-	if !advance(int64(rng.Geometric(p))) {
+	// Hoist the invariant log out of the geometric sampler; GeometricLog is
+	// bitwise identical to Geometric(p), so recorded seeds reproduce the
+	// same graphs as before.
+	log1mp := math.Log1p(-p)
+	if !advance(int64(rng.GeometricLog(log1mp))) {
 		return b.Build()
 	}
 	for {
-		b.AddEdge(int32(u), int32(u+1+v))
-		if !advance(1 + int64(rng.Geometric(p))) {
+		b.AddEdgeUnchecked(int32(u), int32(u+1+v))
+		if !advance(1 + int64(rng.GeometricLog(log1mp))) {
 			break
 		}
 	}
@@ -91,7 +95,7 @@ func Gnm(n, m int, rng *xrand.Rand) *graph.Graph {
 		if !seen[k] {
 			seen[k] = true
 			u, v := pairFromIndex(n, k)
-			b.AddEdge(u, v)
+			b.AddEdgeUnchecked(u, v)
 		}
 	}
 	return b.Build()
@@ -154,7 +158,7 @@ func RandomRegular(n, d int, rng *xrand.Rand) *graph.Graph {
 				break
 			}
 			seen[key] = true
-			b.AddEdge(u, v)
+			b.AddEdgeUnchecked(min32(u, v), max32(u, v))
 		}
 		if ok {
 			return b.Build()
@@ -173,7 +177,7 @@ func RandomRegular(n, d int, rng *xrand.Rand) *graph.Graph {
 					continue
 				}
 				seen[key] = true
-				b.AddEdge(u, v)
+				b.AddEdgeUnchecked(min32(u, v), max32(u, v))
 			}
 			return b.Build()
 		}
@@ -258,7 +262,7 @@ func geometricFromPoints(xs, ys []float64, radius float64) *graph.Graph {
 					ddx := xs[i] - xs[j]
 					ddy := ys[i] - ys[j]
 					if ddx*ddx+ddy*ddy <= r2 {
-						b.AddEdge(int32(i), j)
+						b.AddEdgeUnchecked(int32(i), j)
 					}
 				}
 			}
@@ -280,7 +284,7 @@ func Hypercube(dim int) *graph.Graph {
 		for bit := 0; bit < dim; bit++ {
 			w := v ^ (1 << bit)
 			if v < w {
-				b.AddEdge(int32(v), int32(w))
+				b.AddEdgeUnchecked(int32(v), int32(w))
 			}
 		}
 	}
@@ -313,7 +317,7 @@ func Torus(rows, cols int) *graph.Graph {
 func Path(n int) *graph.Graph {
 	b := graph.NewBuilder(n)
 	for i := 0; i < n-1; i++ {
-		b.AddEdge(int32(i), int32(i+1))
+		b.AddEdgeUnchecked(int32(i), int32(i+1))
 	}
 	return b.Build()
 }
@@ -324,9 +328,10 @@ func Cycle(n int) *graph.Graph {
 		panic("gen: Cycle requires n >= 3")
 	}
 	b := graph.NewBuilder(n)
-	for i := 0; i < n; i++ {
-		b.AddEdge(int32(i), int32((i+1)%n))
+	for i := 0; i < n-1; i++ {
+		b.AddEdgeUnchecked(int32(i), int32(i+1))
 	}
+	b.AddEdgeUnchecked(0, int32(n-1))
 	return b.Build()
 }
 
@@ -334,7 +339,7 @@ func Cycle(n int) *graph.Graph {
 func Star(n int) *graph.Graph {
 	b := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
-		b.AddEdge(0, int32(i))
+		b.AddEdgeUnchecked(0, int32(i))
 	}
 	return b.Build()
 }
@@ -345,7 +350,7 @@ func Complete(n int) *graph.Graph {
 	b.Grow(n * (n - 1) / 2)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			b.AddEdge(int32(i), int32(j))
+			b.AddEdgeUnchecked(int32(i), int32(j))
 		}
 	}
 	return b.Build()
@@ -358,7 +363,7 @@ func Complete(n int) *graph.Graph {
 func RandomTree(n int, rng *xrand.Rand) *graph.Graph {
 	b := graph.NewBuilder(n)
 	for i := 1; i < n; i++ {
-		b.AddEdge(int32(i), rng.Int31n(int32(i)))
+		b.AddEdgeUnchecked(rng.Int31n(int32(i)), int32(i))
 	}
 	return b.Build()
 }

@@ -1,0 +1,152 @@
+package gen
+
+// Parallel G(n,p) generation. The implicit enumeration of vertex pairs
+// (0,1), (0,2), ..., (n-2,n-1) is partitioned into fixed-size blocks of
+// pair indices; every block draws its geometric skips from its own child
+// random stream derived from a single root seed. Because block boundaries
+// — not goroutine scheduling — define the streams, the sampled graph is a
+// deterministic function of (n, p, rng state) and bitwise identical for
+// every worker count, including 1.
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/xrand"
+)
+
+// gnpBlockPairs is the number of candidate pairs per block. Big enough
+// that per-block overhead (one stream derivation, one row/column
+// conversion) vanishes against the expected p·blockPairs edges, small
+// enough that a 100k-vertex graph still splits into thousands of blocks
+// for even scheduling.
+const gnpBlockPairs = 1 << 21
+
+// GnpParallel samples G(n,p) — same model and distribution as Gnp, but
+// generated over a worker pool. workers <= 0 means GOMAXPROCS. The random
+// stream differs from Gnp's serial stream (so the two functions sample
+// different graphs from the same seed), but the result is a deterministic
+// function of rng's state alone: any worker count, including 1, produces a
+// bitwise-identical graph. GnpParallel advances rng by exactly one draw,
+// so repeated calls sample independent graphs.
+func GnpParallel(n int, p float64, rng *xrand.Rand, workers int) *graph.Graph {
+	if n < 0 {
+		panic("gen: negative n")
+	}
+	if p < 0 || p > 1 {
+		panic("gen: GnpParallel probability out of [0,1]")
+	}
+	rootSeed := rng.Uint64() // consumed even on the trivial paths, so call sites advance uniformly
+	b := graph.NewBuilder(n)
+	if n < 2 || p == 0 {
+		return b.Build()
+	}
+	if p == 1 {
+		b.Grow(n * (n - 1) / 2)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdgeUnchecked(int32(u), int32(v))
+			}
+		}
+		return b.Build()
+	}
+
+	total := int64(n) * int64(n-1) / 2
+	numBlocks := int((total + gnpBlockPairs - 1) / gnpBlockPairs)
+	root := xrand.New(rootSeed)
+	invLambda := -1 / math.Log1p(-p) // skip = floor(Exp(1)·invLambda) ~ Geometric(p)
+
+	blocks := make([][]uint64, numBlocks)
+	genBlock := func(bi int) {
+		blocks[bi] = gnpBlock(n, total, bi, root.Derive(uint64(bi)+1), invLambda, p)
+	}
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers <= 1 {
+		for bi := 0; bi < numBlocks; bi++ {
+			genBlock(bi)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					bi := next.Add(1) - 1
+					if bi >= int64(numBlocks) {
+						return
+					}
+					genBlock(int(bi))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Merge in block order: edges arrive strictly increasing in (u, v), so
+	// the builder's ordered fast path applies and Build is a pure scatter.
+	m := 0
+	for _, blk := range blocks {
+		m += len(blk)
+	}
+	b.Grow(m)
+	for _, blk := range blocks {
+		for _, pe := range blk {
+			b.AddEdgeUnchecked(int32(pe>>32), int32(pe&0xffffffff))
+		}
+	}
+	return b.Build()
+}
+
+// gnpBlock samples the edges whose pair index lies in block bi, returned
+// as packed (u<<32 | v) values in increasing pair order.
+func gnpBlock(n int, total int64, bi int, child *xrand.Rand, invLambda, p float64) []uint64 {
+	k0 := int64(bi) * gnpBlockPairs
+	k1 := k0 + gnpBlockPairs
+	if k1 > total {
+		k1 = total
+	}
+	buf := make([]uint64, 0, int(float64(k1-k0)*p)+int(float64(k1-k0)*p)/8+8)
+
+	// Current candidate pair k0 is (u, u+1+off); advance converts skips in
+	// pair-index space to row/column steps.
+	u32, v32 := pairFromIndex(n, k0)
+	u := int64(u32)
+	off := int64(v32) - u - 1
+	rowLen := int64(n) - 1 - u
+	left := k1 - k0 // candidates in [current, k1)
+
+	// First skip lands on the first edge candidate; subsequent edges are
+	// 1 + skip further along. Skips are drawn as floor(Exp(1)/λ) with
+	// λ = -log(1-p), which is exactly Geometric(p).
+	f := child.ExpZiggurat() * invLambda
+	if f >= float64(left) {
+		return buf
+	}
+	s := int64(f)
+	for {
+		left -= s
+		off += s
+		for off >= rowLen {
+			off -= rowLen
+			u++
+			rowLen--
+		}
+		buf = append(buf, uint64(u)<<32|uint64(u+1+off))
+		f = child.ExpZiggurat() * invLambda
+		if f >= float64(left-1) {
+			return buf
+		}
+		s = 1 + int64(f)
+	}
+}

@@ -1,0 +1,181 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// referenceAdjacency builds the expected sorted, deduplicated adjacency
+// lists of a graph on n vertices with the naive set-based construction the
+// counting-sort Build must reproduce: self-loops dropped, duplicates
+// collapsed, each edge mirrored.
+func referenceAdjacency(n int, edges [][2]int32) [][]int32 {
+	sets := make([]map[int32]bool, n)
+	for i := range sets {
+		sets[i] = map[int32]bool{}
+	}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		sets[u][v] = true
+		sets[v][u] = true
+	}
+	out := make([][]int32, n)
+	for v := range sets {
+		for w := range sets[v] {
+			out[v] = append(out[v], w)
+		}
+		sort.Slice(out[v], func(i, j int) bool { return out[v][i] < out[v][j] })
+	}
+	return out
+}
+
+func assertMatchesReference(t *testing.T, g *Graph, want [][]int32) {
+	t.Helper()
+	if g.N() != len(want) {
+		t.Fatalf("n = %d, want %d", g.N(), len(want))
+	}
+	for v := int32(0); int(v) < g.N(); v++ {
+		got := g.Neighbors(v)
+		if len(got) != len(want[v]) {
+			t.Fatalf("vertex %d: adjacency %v, want %v", v, got, want[v])
+		}
+		for i := range got {
+			if got[i] != want[v][i] {
+				t.Fatalf("vertex %d: adjacency %v, want %v", v, got, want[v])
+			}
+		}
+	}
+}
+
+// Property test for the counting-sort Build: on random edge multisets full
+// of duplicates and self-loops, in random insertion order, the CSR result
+// must equal the naive set-based construction.
+func TestBuildMatchesReferenceOnRandomMultisets(t *testing.T) {
+	rng := xrand.New(2024)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		m := rng.Intn(4 * n)
+		edges := make([][2]int32, 0, m)
+		for i := 0; i < m; i++ {
+			u := rng.Int31n(int32(n))
+			v := rng.Int31n(int32(n)) // may equal u: self-loops must be dropped
+			edges = append(edges, [2]int32{u, v})
+			if rng.Float64() < 0.3 { // duplicate, possibly flipped
+				if rng.Float64() < 0.5 {
+					u, v = v, u
+				}
+				edges = append(edges, [2]int32{u, v})
+			}
+		}
+		b := NewBuilder(n)
+		for _, e := range edges {
+			b.AddEdge(e[0], e[1])
+		}
+		assertMatchesReference(t, b.Build(), referenceAdjacency(n, edges))
+	}
+}
+
+// The ordered fast path (strictly increasing lexicographic insertion, as
+// the generators emit) must produce the same graph as unordered insertion
+// of the same edge set.
+func TestBuildOrderedFastPathMatchesShuffled(t *testing.T) {
+	rng := xrand.New(77)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(50)
+		var edges [][2]int32
+		for u := int32(0); int(u) < n; u++ {
+			for v := u + 1; int(v) < n; v++ {
+				if rng.Float64() < 0.15 {
+					edges = append(edges, [2]int32{u, v})
+				}
+			}
+		}
+		ordered := NewBuilder(n)
+		ordered.Grow(len(edges))
+		for _, e := range edges {
+			ordered.AddEdgeUnchecked(e[0], e[1]) // already normalized and sorted
+		}
+		g1 := ordered.Build()
+
+		shuffled := append([][2]int32(nil), edges...)
+		for i := len(shuffled) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		}
+		unordered := NewBuilder(n)
+		for _, e := range shuffled {
+			unordered.AddEdge(e[1], e[0]) // reversed endpoints: AddEdge normalizes
+		}
+		g2 := unordered.Build()
+
+		want := referenceAdjacency(n, edges)
+		assertMatchesReference(t, g1, want)
+		assertMatchesReference(t, g2, want)
+	}
+}
+
+// AddEdgeUnchecked in sorted order mixed across Build calls: the builder
+// must be reusable, with state fully reset between builds.
+func TestBuilderReuseAfterBuild(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(3, 1)
+	b.AddEdge(1, 3) // duplicate
+	g1 := b.Build()
+	if g1.M() != 1 || !g1.HasEdge(1, 3) {
+		t.Fatalf("first build: %v", g1)
+	}
+	// Second build must not see the first build's edges, and the ordered
+	// fast path must be available again.
+	b.AddEdgeUnchecked(0, 2)
+	b.AddEdgeUnchecked(2, 4)
+	g2 := b.Build()
+	if g2.M() != 2 || !g2.HasEdge(0, 2) || !g2.HasEdge(2, 4) || g2.HasEdge(1, 3) {
+		t.Fatalf("second build: %v", g2)
+	}
+}
+
+// A graph big enough to cross Build's int32-cursor scatter threshold on the
+// ordered path, checked against per-list invariants rather than the
+// quadratic reference.
+func TestBuildLargeOrderedInvariants(t *testing.T) {
+	rng := xrand.New(5)
+	n := 30000
+	b := NewBuilder(n)
+	var mirror [][2]int32
+	for u := int32(0); int(u) < n-1; u++ {
+		// a few random larger neighbours per vertex, strictly increasing
+		prev := u
+		for k := 0; k < 3; k++ {
+			step := 1 + rng.Int31n(50)
+			v := prev + step
+			if int(v) >= n {
+				break
+			}
+			b.AddEdgeUnchecked(u, v)
+			mirror = append(mirror, [2]int32{u, v})
+			prev = v
+		}
+	}
+	g := b.Build()
+	if g.M() != len(mirror) {
+		t.Fatalf("m = %d, want %d", g.M(), len(mirror))
+	}
+	for v := int32(0); int(v) < n; v++ {
+		nb := g.Neighbors(v)
+		for i := 1; i < len(nb); i++ {
+			if nb[i-1] >= nb[i] {
+				t.Fatalf("vertex %d: list not strictly increasing: %v", v, nb)
+			}
+		}
+	}
+	for _, e := range mirror {
+		if !g.HasEdge(e[0], e[1]) || !g.HasEdge(e[1], e[0]) {
+			t.Fatalf("edge %v missing", e)
+		}
+	}
+}

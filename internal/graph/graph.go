@@ -70,19 +70,43 @@ func (g *Graph) String() string {
 // Builder accumulates edges and produces an immutable Graph. Duplicate
 // edges and self-loops are silently dropped at Build time, so generators
 // may add candidate edges without pre-deduplication.
+//
+// Build runs in O(n + m): degrees are counted as edges arrive, the CSR
+// arrays are filled by a two-pass counting-sort scatter, and per-list
+// fix-ups (sorting, deduplication) run only when the insertion order made
+// them necessary. Generators that guarantee normalized, distinct edges can
+// skip validation entirely with AddEdgeUnchecked.
 type Builder struct {
 	n     int
 	edges []edge
+	deg   []int32 // running per-vertex degree (including duplicate adds)
+	lastU int32   // previous edge, for insertion-order tracking
+	lastV int32
+	// ordered reports that all edges so far arrived in strictly increasing
+	// (u, v) lexicographic order. Ordered input yields sorted adjacency
+	// lists straight out of the scatter pass and cannot contain duplicates,
+	// so Build skips every fix-up.
+	ordered bool
+	// sawChecked reports that at least one edge came through AddEdge, whose
+	// contract tolerates duplicates; Build then needs a dedup pass when the
+	// input was not ordered.
+	sawChecked bool
+	// sink absorbs scatterInt32's look-ahead loads so they cannot be
+	// optimised away. Never read; per-builder so concurrent Builds (one
+	// builder per goroutine) do not share a write target.
+	sink int32
 }
 
 type edge struct{ u, v int32 }
+
+const maxInt32 = 1<<31 - 1
 
 // NewBuilder returns a builder for a graph on n vertices.
 func NewBuilder(n int) *Builder {
 	if n < 0 {
 		panic("graph: negative vertex count")
 	}
-	return &Builder{n: n}
+	return &Builder{n: n, ordered: true, lastU: -1, lastV: -1}
 }
 
 // N returns the number of vertices the builder was created with.
@@ -100,8 +124,8 @@ func (b *Builder) Grow(m int) {
 // AddEdge records the undirected edge {u, v}. Self-loops are ignored. It
 // panics if either endpoint is out of range.
 func (b *Builder) AddEdge(u, v int32) {
-	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
-		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	if uint64(u) >= uint64(b.n) || uint64(v) >= uint64(b.n) {
+		b.rangePanic(u, v)
 	}
 	if u == v {
 		return
@@ -109,61 +133,198 @@ func (b *Builder) AddEdge(u, v int32) {
 	if u > v {
 		u, v = v, u
 	}
+	b.sawChecked = true
+	b.push(u, v)
+}
+
+// AddEdgeUnchecked records the undirected edge {u, v} without validation or
+// deduplication. The caller guarantees 0 <= u < v < N() and that the edge
+// is distinct from every other edge added to this builder; violating the
+// contract corrupts the resulting graph. Generators whose construction
+// already guarantees normalized, distinct edges (G(n,p) skip sampling,
+// hypercubes, pairing models with an explicit seen-set, ...) use this path
+// so Build never has to deduplicate. Edges added in strictly increasing
+// (u, v) lexicographic order additionally let Build skip all per-list
+// sorting.
+func (b *Builder) AddEdgeUnchecked(u, v int32) {
+	b.push(u, v)
+}
+
+// push appends an edge, maintaining the running degree counts and the
+// insertion-order flag.
+func (b *Builder) push(u, v int32) {
+	if u < b.lastU || (u == b.lastU && v <= b.lastV) {
+		b.ordered = false
+	}
+	b.lastU, b.lastV = u, v
+	if b.deg == nil {
+		b.deg = make([]int32, b.n)
+	}
+	b.deg[u]++
+	b.deg[v]++
 	b.edges = append(b.edges, edge{u, v})
+}
+
+func (b *Builder) rangePanic(u, v int32) {
+	panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
 }
 
 // EdgeCount returns the number of edges recorded so far (before dedup).
 func (b *Builder) EdgeCount() int { return len(b.edges) }
 
 // Build produces the immutable graph and leaves the builder reusable (its
-// edge list is consumed).
+// edge list is consumed). It runs in O(n + m): a prefix sum over the
+// degree counts followed by one counting-sort scatter of the edge list.
+// Lists are then sorted or deduplicated only if the insertion order made
+// that necessary — for lexicographically ordered input (the G(n,p)
+// generator's natural emission order) the scatter output is already sorted
+// and duplicate-free, and no fix-up runs at all.
 func (b *Builder) Build() *Graph {
-	// Sort edges to deduplicate; (u,v) already normalised with u < v.
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].u != b.edges[j].u {
-			return b.edges[i].u < b.edges[j].u
-		}
-		return b.edges[i].v < b.edges[j].v
-	})
-	dedup := b.edges[:0]
-	var prev edge = edge{-1, -1}
-	for _, e := range b.edges {
-		if e != prev {
-			dedup = append(dedup, e)
-			prev = e
+	offsets := make([]int64, b.n+1)
+	var total int64
+	if b.deg != nil {
+		// The same pass that builds the offsets rewrites the degree counts as
+		// int32 scatter cursors (truncation is harmless: the int32 cursors are
+		// only used when the final total fits, and deg is discarded either way).
+		for v := 0; v < b.n; v++ {
+			d := b.deg[v]
+			offsets[v] = total
+			b.deg[v] = int32(total)
+			total += int64(d)
 		}
 	}
-
-	deg := make([]int64, b.n+1)
-	for _, e := range dedup {
-		deg[e.u+1]++
-		deg[e.v+1]++
+	offsets[b.n] = total
+	adj := make([]int32, total)
+	if total <= maxInt32 {
+		// Common case: arc indices fit in int32, so the recycled degree array
+		// serves as the cursors — no extra allocation, and the randomly-accessed
+		// cursor array is half the size of an int64 one.
+		b.scatterInt32(adj, b.deg)
+	} else {
+		cursor := make([]int64, b.n)
+		copy(cursor, offsets[:b.n])
+		for _, e := range b.edges {
+			adj[cursor[e.u]] = e.v
+			cursor[e.u]++
+			adj[cursor[e.v]] = e.u
+			cursor[e.v]++
+		}
 	}
-	offsets := deg
-	for i := 1; i <= b.n; i++ {
-		offsets[i] += offsets[i-1]
-	}
-	adj := make([]int32, offsets[b.n])
-	cursor := make([]int64, b.n)
-	copy(cursor, offsets[:b.n])
-	for _, e := range dedup {
-		adj[cursor[e.u]] = e.v
-		cursor[e.u]++
-		adj[cursor[e.v]] = e.u
-		cursor[e.v]++
-	}
-	// Each adjacency list is already sorted: we insert v-neighbours of u in
-	// increasing v order for the u < v half, but the v > u half arrives in
-	// increasing u order interleaved, so sort per list to be safe.
 	g := &Graph{offsets: offsets, adj: adj}
-	for v := int32(0); int(v) < b.n; v++ {
-		nb := g.adj[g.offsets[v]:g.offsets[v+1]]
-		if !sorted32(nb) {
-			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	if !b.ordered {
+		// Out-of-order input: sort the (few, or all) lists the scatter left
+		// unsorted, then deduplicate if any edge came through AddEdge.
+		for v := int32(0); int(v) < b.n; v++ {
+			nb := g.adj[g.offsets[v]:g.offsets[v+1]]
+			if !sorted32(nb) {
+				sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+			}
+		}
+		if b.sawChecked {
+			g.compactDuplicates()
 		}
 	}
 	b.edges = nil
+	b.deg = nil
+	b.ordered = true
+	b.sawChecked = false
+	b.lastU, b.lastV = -1, -1
 	return g
+}
+
+// scatterInt32 fills adj from the recorded edge list; cur[v] holds the next
+// write position of vertex v's list and is advanced in place.
+//
+// For ordered input the two arc directions are scattered in separate
+// passes. Lexicographic order means every smaller-neighbour arc of a vertex
+// precedes all its larger-neighbour arcs, so the v-side pass lays down each
+// list's head and the u-side pass appends its tail — and because equal-u
+// edges are contiguous, the u-side pass loads one cursor per vertex and
+// streams its writes sequentially. That halves the randomly-addressed
+// traffic; only the v-side writes remain scattered, and those are paced by
+// an explicit look-ahead touch of the cursor line (see Builder.sink).
+func (b *Builder) scatterInt32(adj []int32, cur []int32) {
+	// Cursor accesses miss cache unpredictably, and the loop's short
+	// dependence chains leave the memory pipeline underused. Touching the
+	// cursor pfDist iterations ahead starts those misses early; the loads
+	// feed a package-level sink so they cannot be optimised away.
+	const pfDist = 16
+	var sink int32
+	edges := b.edges
+	if !b.ordered {
+		i := 0
+		for ; i+pfDist < len(edges); i++ {
+			sink += cur[edges[i+pfDist].u] + cur[edges[i+pfDist].v]
+			e := edges[i]
+			cu := cur[e.u]
+			cur[e.u] = cu + 1
+			adj[cu] = e.v
+			cv := cur[e.v]
+			cur[e.v] = cv + 1
+			adj[cv] = e.u
+		}
+		for ; i < len(edges); i++ {
+			e := edges[i]
+			cu := cur[e.u]
+			cur[e.u] = cu + 1
+			adj[cu] = e.v
+			cv := cur[e.v]
+			cur[e.v] = cv + 1
+			adj[cv] = e.u
+		}
+		b.sink = sink
+		return
+	}
+	i := 0
+	for ; i+pfDist < len(edges); i++ {
+		sink += cur[edges[i+pfDist].v]
+		e := edges[i]
+		c := cur[e.v]
+		cur[e.v] = c + 1
+		adj[c] = e.u
+	}
+	for ; i < len(edges); i++ {
+		e := edges[i]
+		c := cur[e.v]
+		cur[e.v] = c + 1
+		adj[c] = e.u
+	}
+	b.sink = sink
+	for i := 0; i < len(edges); {
+		u := edges[i].u
+		c := cur[u]
+		for i < len(edges) && edges[i].u == u {
+			adj[c] = edges[i].v
+			c++
+			i++
+		}
+	}
+}
+
+// compactDuplicates removes repeated entries from every (sorted) adjacency
+// list in one in-place sweep, rewriting the offsets accordingly.
+func (g *Graph) compactDuplicates() {
+	w := int64(0)
+	dropped := false
+	for v := 0; v < g.N(); v++ {
+		start, end := g.offsets[v], g.offsets[v+1]
+		g.offsets[v] = w
+		prev := int32(-1)
+		for i := start; i < end; i++ {
+			x := g.adj[i]
+			if x != prev {
+				g.adj[w] = x
+				w++
+				prev = x
+			} else {
+				dropped = true
+			}
+		}
+	}
+	g.offsets[len(g.offsets)-1] = w
+	if dropped {
+		g.adj = g.adj[:w]
+	}
 }
 
 func sorted32(s []int32) bool {

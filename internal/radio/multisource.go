@@ -36,22 +36,7 @@ func NewEngineMulti(g *graph.Graph, sources []int32, policy TransmitterPolicy) *
 // RunProtocolMulti is RunProtocol starting from several sources.
 func RunProtocolMulti(g *graph.Graph, sources []int32, p Protocol, maxRounds int, rng *xrand.Rand) Result {
 	e := NewEngineMulti(g, sources, StrictInformed)
-	var tx []int32
-	for e.round < maxRounds && !e.Done() {
-		tx = tx[:0]
-		round := e.round + 1
-		for v, inf := range e.informed {
-			if !inf {
-				continue
-			}
-			if p.Transmit(int32(v), round, e.informedAt[v], rng) {
-				tx = append(tx, int32(v))
-			}
-		}
-		if _, err := e.Round(tx); err != nil {
-			panic(err)
-		}
-	}
+	e.runProtocol(p, maxRounds, rng)
 	return resultOf(e)
 }
 
@@ -66,8 +51,21 @@ func SourceSweep(g *graph.Graph, k int, p Protocol, maxRounds int, rng *xrand.Ra
 	}
 	sources := rng.Sample(n, k)
 	out := make([]int, len(sources))
+	if len(sources) == 0 {
+		return out
+	}
+	// One engine serves every source: ResetFor + the zero-alloc runner give
+	// the same per-source results as a fresh engine (same derived streams),
+	// without k graph-sized allocations.
+	e := NewEngine(g, 0, StrictInformed)
 	for i, s := range sources {
-		out[i] = BroadcastTime(g, s, p, maxRounds, rng.Derive(uint64(i)+1))
+		e.ResetFor(s)
+		e.runProtocol(p, maxRounds, rng.Derive(uint64(i)+1))
+		if e.Done() {
+			out[i] = e.round
+		} else {
+			out[i] = maxRounds + 1
+		}
 	}
 	return out
 }

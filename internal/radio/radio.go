@@ -78,6 +78,7 @@ type Engine struct {
 	round        int
 	stats        Stats
 	newly        []int32 // scratch reused across rounds
+	txScratch    []int32 // scratch transmit set for the protocol runners
 	// Scratch for RoundWithFeedback (allocated lazily).
 	cdHits    []int32
 	cdMark    []bool
@@ -111,7 +112,8 @@ func NewEngine(g *graph.Graph, src int32, policy TransmitterPolicy) *Engine {
 }
 
 // Reset returns the engine to its initial state (only the source informed)
-// without reallocating.
+// without reallocating, making one engine reusable across many trials on
+// the same graph (see RunProtocolOn).
 func (e *Engine) Reset() {
 	for i := range e.informed {
 		e.informed[i] = false
@@ -122,6 +124,23 @@ func (e *Engine) Reset() {
 	e.numInformed = 1
 	e.round = 0
 	e.stats = Stats{}
+	// Per-round scratch is empty after any completed or failed Round, but
+	// clear it anyway so Reset restores a pristine engine unconditionally.
+	for _, w := range e.touched {
+		e.hits[w] = 0
+	}
+	e.touched = e.touched[:0]
+	e.clearTransmitMarks()
+}
+
+// ResetFor is Reset with a different broadcast source, so one engine can
+// sweep every source of a graph without reallocating.
+func (e *Engine) ResetFor(src int32) {
+	if src < 0 || int(src) >= e.g.N() {
+		panic(fmt.Sprintf("radio: source %d out of range [0,%d)", src, e.g.N()))
+	}
+	e.src = src
+	e.Reset()
 }
 
 // Graph returns the underlying graph.
@@ -186,20 +205,22 @@ var ErrUninformedTransmitter = errors.New("radio: schedule uses uninformed trans
 //
 // Duplicate entries in transmitters are tolerated (a node transmits once).
 func (e *Engine) Round(transmitters []int32) ([]int32, error) {
-	e.round++
-	e.stats.Rounds++
-
-	// Mark transmitters, applying the policy.
+	// Mark transmitters, applying the policy. The round is not committed
+	// (round counter, stats) until the whole set validates, and both error
+	// returns clear the transmit marks, so a failed call leaves the engine
+	// exactly as it was: a round that never executed is not counted and
+	// cannot corrupt collision accounting in later rounds.
 	e.txList = e.txList[:0]
 	for _, v := range transmitters {
 		if v < 0 || int(v) >= len(e.informed) {
+			e.clearTransmitMarks()
 			return nil, fmt.Errorf("radio: transmitter %d out of range", v)
 		}
 		if !e.informed[v] {
 			switch e.policy {
 			case StrictInformed:
 				e.clearTransmitMarks()
-				return nil, fmt.Errorf("%w: node %d in round %d", ErrUninformedTransmitter, v, e.round)
+				return nil, fmt.Errorf("%w: node %d in round %d", ErrUninformedTransmitter, v, e.round+1)
 			case FilterUninformed:
 				continue
 			case MagicTransmitters:
@@ -211,6 +232,8 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 			e.txList = append(e.txList, v)
 		}
 	}
+	e.round++
+	e.stats.Rounds++
 	e.stats.Transmissions += len(e.txList)
 
 	// Count transmitting neighbours of every node touched.
@@ -284,6 +307,18 @@ type Result struct {
 // complete.
 func ExecuteSchedule(g *graph.Graph, src int32, s *Schedule, policy TransmitterPolicy) (Result, error) {
 	e := NewEngine(g, src, policy)
+	return executeScheduleOn(e, s)
+}
+
+// ExecuteScheduleOn resets the caller-owned engine and replays the
+// schedule on it, avoiding the per-run engine allocation of
+// ExecuteSchedule. The engine's existing source and policy apply.
+func ExecuteScheduleOn(e *Engine, s *Schedule) (Result, error) {
+	e.Reset()
+	return executeScheduleOn(e, s)
+}
+
+func executeScheduleOn(e *Engine, s *Schedule) (Result, error) {
 	for _, set := range s.Sets {
 		if e.Done() {
 			break
@@ -327,13 +362,12 @@ func (f ProtocolFunc) Transmit(v int32, round int, informedAt int32, rng *xrand.
 	return f(v, round, informedAt, rng)
 }
 
-// RunProtocol simulates the distributed protocol for at most maxRounds
-// rounds, stopping early when every node is informed.
-func RunProtocol(g *graph.Graph, src int32, p Protocol, maxRounds int, rng *xrand.Rand) Result {
-	e := NewEngine(g, src, StrictInformed)
-	var tx []int32
+// runProtocol drives the engine under the protocol until completion or the
+// round budget, reusing the engine's scratch transmit set so steady-state
+// rounds allocate nothing.
+func (e *Engine) runProtocol(p Protocol, maxRounds int, rng *xrand.Rand) {
 	for e.round < maxRounds && !e.Done() {
-		tx = tx[:0]
+		tx := e.txScratch[:0]
 		round := e.round + 1
 		for v, inf := range e.informed {
 			if !inf {
@@ -343,11 +377,31 @@ func RunProtocol(g *graph.Graph, src int32, p Protocol, maxRounds int, rng *xran
 				tx = append(tx, int32(v))
 			}
 		}
+		e.txScratch = tx
 		if _, err := e.Round(tx); err != nil {
 			// Cannot happen: we only offer informed nodes.
 			panic(err)
 		}
 	}
+}
+
+// RunProtocol simulates the distributed protocol for at most maxRounds
+// rounds, stopping early when every node is informed.
+func RunProtocol(g *graph.Graph, src int32, p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	e := NewEngine(g, src, StrictInformed)
+	e.runProtocol(p, maxRounds, rng)
+	return resultOf(e)
+}
+
+// RunProtocolOn resets the caller-owned engine and simulates the protocol
+// on it. It is RunProtocol without the per-trial graph walk and engine
+// allocation: a sweep that runs many trials on one graph builds the engine
+// once (per worker) and calls RunProtocolOn per trial. Combine with
+// ResetFor via the engine's own methods to also vary the source. The
+// engine's policy applies (RunProtocol itself always uses StrictInformed).
+func RunProtocolOn(e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	e.Reset()
+	e.runProtocol(p, maxRounds, rng)
 	return resultOf(e)
 }
 
@@ -361,4 +415,15 @@ func BroadcastTime(g *graph.Graph, src int32, p Protocol, maxRounds int, rng *xr
 		return maxRounds + 1
 	}
 	return res.Rounds
+}
+
+// BroadcastTimeOn is BroadcastTime on a caller-owned engine (reset first).
+// Unlike RunProtocolOn it builds no Result, so a trial allocates nothing.
+func BroadcastTimeOn(e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) int {
+	e.Reset()
+	e.runProtocol(p, maxRounds, rng)
+	if !e.Done() {
+		return maxRounds + 1
+	}
+	return e.round
 }

@@ -56,6 +56,12 @@ func Quantile(xs []float64, q float64) float64 {
 	s := make([]float64, len(xs))
 	copy(s, xs)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted reads the q-th quantile off an already-sorted non-empty
+// sample, so callers that need several quantiles (Summarize) sort once.
+func quantileSorted(s []float64, q float64) float64 {
 	if len(s) == 1 {
 		return s[0]
 	}
@@ -95,11 +101,16 @@ func Summarize(xs []float64) Summary {
 	}
 	s.Mean = Mean(xs)
 	s.StdDev = StdDev(xs)
-	s.Min = Quantile(xs, 0)
-	s.Median = Median(xs)
-	s.Max = Quantile(xs, 1)
-	s.P10 = Quantile(xs, 0.10)
-	s.P90 = Quantile(xs, 0.90)
+	// Sort once and read every order statistic off the sorted copy, instead
+	// of letting each Quantile call copy and re-sort the sample.
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min = sorted[0]
+	s.Median = quantileSorted(sorted, 0.5)
+	s.Max = sorted[len(sorted)-1]
+	s.P10 = quantileSorted(sorted, 0.10)
+	s.P90 = quantileSorted(sorted, 0.90)
 	if len(xs) >= 2 {
 		half := 1.96 * s.StdDev / math.Sqrt(float64(len(xs)))
 		s.MeanErrorHalfWide = half

@@ -19,6 +19,23 @@ type Trial func(rng *xrand.Rand) float64
 // and returns the measurements ordered by trial index. Trials run
 // concurrently on up to GOMAXPROCS goroutines.
 func Run(trials int, baseSeed uint64, trial Trial) []float64 {
+	return RunWith(trials, baseSeed,
+		func() struct{} { return struct{}{} },
+		func(rng *xrand.Rand, _ struct{}) float64 { return trial(rng) })
+}
+
+// RunWith is Run for trials that reuse expensive per-worker state: each
+// worker goroutine calls newCtx exactly once and passes the context to
+// every trial it executes, so a 1000-trial sweep over one graph builds
+// graph-sized simulation state (engine, scratch buffers, ...) once per
+// worker instead of once per trial.
+//
+// Trial randomness still comes exclusively from the per-trial derived rng,
+// and a trial must leave no result-relevant state in the context (reset it
+// at the start of the trial, as radio.RunProtocolOn does); under that
+// contract the measurements are identical to Run's for the same baseSeed,
+// independent of worker count and scheduling.
+func RunWith[C any](trials int, baseSeed uint64, newCtx func() C, trial func(rng *xrand.Rand, ctx C) float64) []float64 {
 	out := make([]float64, trials)
 	if trials <= 0 {
 		return out[:0]
@@ -38,8 +55,9 @@ func Run(trials int, baseSeed uint64, trial Trial) []float64 {
 		rngs[i] = parent.Derive(uint64(i) + 1)
 	}
 	if workers == 1 {
+		ctx := newCtx()
 		for i := 0; i < trials; i++ {
-			out[i] = trial(rngs[i])
+			out[i] = trial(rngs[i], ctx)
 		}
 		return out
 	}
@@ -49,8 +67,9 @@ func Run(trials int, baseSeed uint64, trial Trial) []float64 {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ctx := newCtx()
 			for i := range next {
-				out[i] = trial(rngs[i])
+				out[i] = trial(rngs[i], ctx)
 			}
 		}()
 	}
@@ -71,12 +90,19 @@ type Point struct {
 
 // Sweep1D runs `trials` trials of `trial(x)` for every x in xs; trial
 // factories receive the parameter and must return a Trial closure.
+//
+// Per-point seeds are derived from a single parent stream seeded with
+// baseSeed (xrand.Rand.DeriveSeed), not by affine arithmetic on baseSeed:
+// two sweeps whose base seeds differ by a small offset therefore share no
+// per-point streams. (Sweeps recorded before this change used
+// baseSeed + i·1000003 and produce different samples.)
 func Sweep1D(xs []float64, trials int, baseSeed uint64, factory func(x float64) Trial) []Point {
+	parent := xrand.New(baseSeed)
 	points := make([]Point, len(xs))
 	for i, x := range xs {
 		points[i] = Point{
 			X:       x,
-			Samples: Run(trials, baseSeed+uint64(i)*1_000_003, factory(x)),
+			Samples: Run(trials, parent.DeriveSeed(uint64(i)+1), factory(x)),
 		}
 	}
 	return points

@@ -1,0 +1,75 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+// Exp(1) has mean 1 and variance 1; the ziggurat sampler must reproduce
+// both. Tolerances are ~5 standard errors at this sample size.
+func TestExpZigguratMoments(t *testing.T) {
+	r := New(321)
+	const samples = 400000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < samples; i++ {
+		x := r.ExpZiggurat()
+		if x < 0 {
+			t.Fatalf("negative Exp(1) draw: %v", x)
+		}
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / samples
+	variance := sumsq/samples - mean*mean
+	if math.Abs(mean-1) > 0.01 {
+		t.Errorf("Exp(1) mean = %.4f, want 1±0.01", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("Exp(1) variance = %.4f, want 1±0.03", variance)
+	}
+}
+
+// The ziggurat must also populate the distribution's tail (beyond the
+// table cut-off at x ≈ 7.697) with the right mass.
+func TestExpZigguratTail(t *testing.T) {
+	r := New(11)
+	const samples = 2000000
+	tail := 0
+	for i := 0; i < samples; i++ {
+		if r.ExpZiggurat() > 8 {
+			tail++
+		}
+	}
+	want := float64(samples) * math.Exp(-8) // ≈ 671
+	if float64(tail) < want/2 || float64(tail) > want*2 {
+		t.Errorf("P[X>8] count = %d, want ≈ %.0f", tail, want)
+	}
+}
+
+// Geometric(p) and GeometricLog(log1p(-p)) must walk the same stream to
+// the same values: GeometricLog only hoists the logarithm.
+func TestGeometricLogMatchesGeometric(t *testing.T) {
+	for _, p := range []float64{0.5, 0.1, 0.003} {
+		a := New(9)
+		b := New(9)
+		log1mp := math.Log1p(-p)
+		for i := 0; i < 2000; i++ {
+			x, y := a.Geometric(p), b.GeometricLog(log1mp)
+			if x != y {
+				t.Fatalf("p=%v draw %d: Geometric=%d GeometricLog=%d", p, i, x, y)
+			}
+		}
+	}
+}
+
+func TestDeriveSeedMatchesDerive(t *testing.T) {
+	r := New(1234)
+	s := r.DeriveSeed(7)
+	d := r.Derive(7)
+	fromSeed := New(s)
+	for i := 0; i < 100; i++ {
+		if d.Uint64() != fromSeed.Uint64() {
+			t.Fatalf("Derive(7) diverges from New(DeriveSeed(7)) at draw %d", i)
+		}
+	}
+}

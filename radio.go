@@ -70,13 +70,20 @@ func NewRand(seed uint64) *Rand { return xrand.New(seed) }
 // NewBuilder returns a builder for a graph on n vertices.
 func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 
-// Gnp samples the Gilbert random graph G(n,p).
-func Gnp(n int, p float64, rng *Rand) *Graph { return gen.Gnp(n, p, rng) }
+// Gnp samples the Gilbert random graph G(n,p) with the block-partitioned
+// parallel generator: the pair-index space is split into fixed blocks, each
+// drawing from its own derived random stream, so the sample is a
+// deterministic function of rng's state alone — bitwise identical for
+// every GOMAXPROCS. (The sampled graph for a given seed changed when this
+// fast path landed; internal/gen.Gnp keeps the legacy serial stream that
+// EXPERIMENTS.md numbers are recorded against.)
+func Gnp(n int, p float64, rng *Rand) *Graph { return gen.GnpParallel(n, p, rng, 0) }
 
 // GnpDegree samples G(n, d/n): a random graph with expected average degree
-// d (the paper's parametrisation d = pn).
+// d (the paper's parametrisation d = pn). Like Gnp it uses the parallel
+// generator.
 func GnpDegree(n int, d float64, rng *Rand) *Graph {
-	return gen.Gnp(n, gen.PForDegree(n, d), rng)
+	return gen.GnpParallel(n, gen.PForDegree(n, d), rng, 0)
 }
 
 // ConnectedGnpDegree samples G(n, d/n) conditioned on connectivity (up to
@@ -136,6 +143,25 @@ func RunProtocol(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) Resu
 // comparable).
 func BroadcastTime(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) int {
 	return radio.BroadcastTime(g, src, p, maxRounds, rng)
+}
+
+// RunProtocolOn is RunProtocol on a caller-owned engine: the engine is
+// reset and reused, so a loop of trials over one graph allocates nothing
+// per trial. Results are identical to RunProtocol with the same rng.
+func RunProtocolOn(e *Engine, p Protocol, maxRounds int, rng *Rand) Result {
+	return radio.RunProtocolOn(e, p, maxRounds, rng)
+}
+
+// BroadcastTimeOn is BroadcastTime on a caller-owned engine (reset first);
+// unlike RunProtocolOn it builds no Result, so a trial is allocation-free.
+func BroadcastTimeOn(e *Engine, p Protocol, maxRounds int, rng *Rand) int {
+	return radio.BroadcastTimeOn(e, p, maxRounds, rng)
+}
+
+// ExecuteScheduleOn is ExecuteSchedule on a caller-owned engine (reset
+// first), for replaying many schedules on one graph without reallocating.
+func ExecuteScheduleOn(e *Engine, s *Schedule) (Result, error) {
+	return radio.ExecuteScheduleOn(e, s)
 }
 
 // CentralizedBound returns the Theorem 5/6 bound ln n / ln d + ln d.
