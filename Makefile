@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet bench experiments verify cover race clean
+.PHONY: all build test vet lint bench experiments verify cover race clean
 
 all: build vet test
 
@@ -9,6 +9,10 @@ build:
 
 vet:
 	go vet ./...
+
+# What the CI lint job runs: vet plus gofmt cleanliness.
+lint: vet
+	test -z "$$(gofmt -l .)"
 
 test:
 	go test ./...

@@ -1,6 +1,6 @@
 package repro
 
-// Benchmark harness: one Benchmark per reproduction experiment (E1–E22 of
+// Benchmark harness: one Benchmark per reproduction experiment (E1–E23 of
 // DESIGN.md §3 — the paper is a theory extended abstract with no tables or
 // figures, so each of its claims and each extension maps to one experiment
 // here), plus micro-benchmarks of the substrates. Run with:
@@ -68,6 +68,7 @@ func BenchmarkE19KnowledgeAndCD(b *testing.B)        { runExperiment(b, "E19") }
 func BenchmarkE20PipelineThroughput(b *testing.B)    { runExperiment(b, "E20") }
 func BenchmarkE21LeaderElection(b *testing.B)        { runExperiment(b, "E21") }
 func BenchmarkE22ConnectivityThreshold(b *testing.B) { runExperiment(b, "E22") }
+func BenchmarkE23CollisionTrace(b *testing.B)        { runExperiment(b, "E23") }
 
 // --- fast-path micro-benchmarks --------------------------------------------
 //
@@ -163,6 +164,38 @@ func BenchmarkBroadcastReuse(b *testing.B) {
 		if BroadcastTimeOn(e, p, budget, rng) > budget {
 			b.Fatal("incomplete")
 		}
+	}
+}
+
+// BenchmarkBroadcastReuseObserved is BenchmarkBroadcastReuse with a
+// Counters observer attached — the observer-layer overhead guard. The
+// per-round cost of observation is one RoundRecord (a stack value) and one
+// interface call; compare with BenchmarkBroadcastReuse to see it, and note
+// that the reuse benchmark itself runs with a nil observer, so the
+// zero-cost-when-disabled claim is covered by its unchanged numbers (see
+// BENCH_1.json).
+func BenchmarkBroadcastReuseObserved(b *testing.B) {
+	rng := NewRand(13)
+	const n = 100000
+	const d = 25.0
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	e := NewEngine(g, 0)
+	var c Counters
+	e.Attach(&c)
+	p := NewProtocol(n, d)
+	budget := MaxRounds(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if BroadcastTimeOn(e, p, budget, rng) > budget {
+			b.Fatal("incomplete")
+		}
+	}
+	if c.Runs != b.N || c.Informed != n {
+		b.Fatalf("counters missed runs: %+v", c)
 	}
 }
 

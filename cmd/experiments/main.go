@@ -5,9 +5,13 @@
 // Usage:
 //
 //	experiments [-scale small|medium|full] [-seed N] [-trials N]
-//	            [-format text|markdown|csv] [-list] [E1 E2 ...]
+//	            [-format text|markdown|csv] [-list] [-verify]
+//	            [-trace] [-trace-out FILE] [E1 E2 ...]
 //
-// With no experiment IDs, every experiment runs in order.
+// With no experiment IDs, every experiment runs in order. -trace runs one
+// scale-sized instrumented broadcast instead and prints its per-round
+// measured-vs-predicted collision table (the single-run form of E23);
+// -trace-out additionally streams the round records as JSON Lines to FILE.
 package main
 
 import (
@@ -18,6 +22,8 @@ import (
 	"time"
 
 	"repro/internal/exp"
+	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -27,6 +33,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text, markdown, csv or json")
 	list := flag.Bool("list", false, "list experiments and exit")
 	verify := flag.Bool("verify", false, "run the reproduction scorecard (pass/fail per claim) and exit")
+	traceFlag := flag.Bool("trace", false, "run one instrumented broadcast and print its per-round collision table")
+	traceOut := flag.String("trace-out", "", "with -trace, also write the round records as JSON Lines to this file (implies -trace)")
 	outDir := flag.String("out", "", "also write each table as CSV into this directory")
 	flag.Parse()
 
@@ -70,6 +78,30 @@ func main() {
 		return
 	}
 
+	if *traceFlag || *traceOut != "" {
+		var obs trace.Observer
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			jw := trace.NewJSONLWriter(f)
+			obs = jw
+			defer func() {
+				if err := jw.Err(); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: writing %s: %v\n", *traceOut, err)
+					os.Exit(1)
+				}
+				fmt.Printf("\ntrace written to %s\n", *traceOut)
+			}()
+		}
+		t := exp.CollisionTraceRun(cfg, obs)
+		printTable(t, *format)
+		return
+	}
+
 	ids := flag.Args()
 	if len(ids) == 0 {
 		for _, e := range exp.All() {
@@ -95,21 +127,7 @@ func main() {
 		tables := e.Run(cfg)
 		elapsed := time.Since(start)
 		for ti, t := range tables {
-			switch *format {
-			case "markdown":
-				fmt.Println(t.Markdown())
-			case "csv":
-				fmt.Println(t.CSV())
-			case "json":
-				j, err := t.JSON()
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-					os.Exit(1)
-				}
-				fmt.Println(j)
-			default:
-				fmt.Println(t.String())
-			}
+			printTable(t, *format)
 			if *outDir != "" {
 				name := filepath.Join(*outDir, fmt.Sprintf("%s_%d.csv", e.ID, ti+1))
 				if err := os.WriteFile(name, []byte(t.CSV()), 0o644); err != nil {
@@ -119,5 +137,23 @@ func main() {
 			}
 		}
 		fmt.Printf("    (%s, scale=%s, %.1fs)\n\n", e.ID, scale, elapsed.Seconds())
+	}
+}
+
+func printTable(t *table.Table, format string) {
+	switch format {
+	case "markdown":
+		fmt.Println(t.Markdown())
+	case "csv":
+		fmt.Println(t.CSV())
+	case "json":
+		j, err := t.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(j)
+	default:
+		fmt.Println(t.String())
 	}
 }

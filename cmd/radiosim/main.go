@@ -4,7 +4,11 @@
 // Usage:
 //
 //	radiosim [-n N] [-d D] [-algo distributed|centralized|decay|aloha]
-//	         [-src V] [-seed S] [-trace]
+//	         [-src V] [-seed S] [-trace] [-trace-out FILE]
+//
+// -trace prints the per-round records; -trace-out streams them as JSON
+// Lines (one begin record, one record per round, one end record) to FILE
+// for offline analysis.
 //
 // Example:
 //
@@ -21,6 +25,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/protocols"
 	"repro/internal/radio"
+	"repro/internal/trace"
 	"repro/internal/viz"
 	"repro/internal/xrand"
 )
@@ -31,7 +36,8 @@ func main() {
 	algo := flag.String("algo", "distributed", "algorithm: distributed, centralized, decay, aloha")
 	src := flag.Int("src", 0, "broadcast source vertex")
 	seed := flag.Uint64("seed", 1, "random seed")
-	trace := flag.Bool("trace", false, "print per-round informed counts")
+	showTrace := flag.Bool("trace", false, "print per-round informed counts")
+	traceOut := flag.String("trace-out", "", "write per-round records as JSON Lines to this file")
 	saveSched := flag.String("save-schedule", "", "write the centralized schedule to this file")
 	flag.Parse()
 
@@ -45,6 +51,17 @@ func main() {
 	st := g.Degrees()
 	fmt.Printf("graph: %v  (attempt %d, degrees min=%d mean=%.1f max=%d, source ecc=%d)\n",
 		g, tries, st.Min, st.Mean, st.Max, graph.Eccentricity(g, int32(*src)))
+
+	var jw *trace.JSONLWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jw = trace.NewJSONLWriter(f)
+	}
 
 	var res radio.TracedResult
 	switch *algo {
@@ -72,6 +89,9 @@ func main() {
 			fmt.Printf("schedule written to %s\n", *saveSched)
 		}
 		e := radio.NewEngine(g, int32(*src), radio.StrictInformed)
+		if jw != nil {
+			e.Attach(jw)
+		}
 		res, err = radio.ExecuteScheduleTrace(e, sched)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
@@ -88,16 +108,26 @@ func main() {
 			p = protocols.NewAloha(*d)
 		}
 		e := radio.NewEngine(g, int32(*src), radio.StrictInformed)
+		if jw != nil {
+			e.Attach(jw)
+		}
 		res = radio.RunProtocolTrace(e, p, core.MaxRoundsFor(*n), rng)
 	default:
 		fmt.Fprintf(os.Stderr, "radiosim: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
 
-	if *trace {
+	if *showTrace {
 		for _, rec := range res.Trace {
 			fmt.Println(rec)
 		}
+	}
+	if jw != nil {
+		if err := jw.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "radiosim: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (%d records)\n", *traceOut, len(res.Trace))
 	}
 	if len(res.Trace) > 1 {
 		curve := make([]float64, len(res.Trace))

@@ -19,13 +19,34 @@ import (
 // GossipResult reports an all-to-all dissemination run.
 type GossipResult = gossip.Result
 
+// GossipProtocol decides, per node and round, whether to transmit during
+// gossiping (all-to-all dissemination). See internal/gossip for the stock
+// protocols (RoundRobin, Uniform, Phased).
+type GossipProtocol = gossip.Protocol
+
+// NewPhasedGossip returns the Theorem-7-style phased gossip protocol
+// sized for n nodes with expected degree d: flood for ~log_d n rounds,
+// then transmit with probability 1/d.
+func NewPhasedGossip(n int, d float64) GossipProtocol {
+	return gossip.NewPhased(n, d)
+}
+
+// GossipWith runs all-to-all rumor dissemination on g under an arbitrary
+// gossip protocol — the gossip analogue of RunProtocol, symmetric with
+// KBroadcast's protocol parameter. Optional observers receive one
+// RoundRecord per round (Successes = clean receptions, NewlyInformed =
+// nodes that completed their rumor set this round).
+func GossipWith(g *Graph, p GossipProtocol, maxRounds int, rng *Rand, obs ...Observer) GossipResult {
+	return gossip.RunObserved(g, p, maxRounds, rng, MultiObserver(obs...))
+}
+
 // Gossip runs all-to-all rumor dissemination on g under the radio model:
 // every node starts with its own rumor, transmissions carry all known
 // rumors, and the run ends when every node knows every rumor (or after
 // maxRounds). The protocol is the Theorem-7-style phased protocol sized
-// for expected degree d.
+// for expected degree d; use GossipWith to substitute another protocol.
 func Gossip(g *Graph, d float64, maxRounds int, rng *Rand) GossipResult {
-	return gossip.Run(g, gossip.NewPhased(g.N(), d), maxRounds, rng)
+	return GossipWith(g, NewPhasedGossip(g.N(), d), maxRounds, rng)
 }
 
 // CrashScenario is a crash-fault pattern applied to a graph.
@@ -39,9 +60,18 @@ func Crash(g *Graph, src int32, q float64, rng *Rand) *CrashScenario {
 }
 
 // BroadcastMulti runs the paper's distributed protocol starting from
-// several sources simultaneously.
-func BroadcastMulti(g *Graph, sources []int32, d float64, rng *Rand) Result {
-	return radio.RunProtocolMulti(g, sources, NewProtocol(g.N(), d), MaxRounds(g.N()), rng)
+// several sources simultaneously. Optional observers receive the
+// per-round trace.
+//
+// Deprecated: use Run(g, sources[0], WithSources(sources[1:]...),
+// WithDegree(d), WithRand(rng)); BroadcastMulti is its positional form.
+func BroadcastMulti(g *Graph, sources []int32, d float64, rng *Rand, obs ...Observer) Result {
+	if len(sources) == 0 {
+		panic("repro: BroadcastMulti needs at least one source")
+	}
+	res, _ := Run(g, sources[0], WithSources(sources[1:]...), WithDegree(d),
+		WithRand(rng), WithObserver(MultiObserver(obs...)))
+	return res
 }
 
 // SourceSweep runs the paper's protocol once from each of k random

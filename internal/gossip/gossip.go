@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/graph"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -111,6 +112,15 @@ type Result struct {
 // Memory is one n-bit set per node (n²/8 bytes total): n = 16384 needs
 // 32 MiB. Completion requires g to be connected.
 func Run(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	return RunObserved(g, p, maxRounds, rng, nil)
+}
+
+// RunObserved is Run with a trace observer receiving one record per round
+// (nil obs behaves exactly like Run; the observer consumes no randomness).
+// In the gossip reading of the record, Successes counts clean receptions,
+// NewlyInformed counts nodes that completed their rumor set this round,
+// and Informed is the cumulative count of such complete nodes.
+func RunObserved(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand, obs trace.Observer) Result {
 	n := g.N()
 	know := make([]*bitset.Set, n)
 	counts := make([]int, n)
@@ -124,17 +134,23 @@ func Run(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand) Result {
 		complete = 1
 	}
 
+	if obs != nil {
+		obs.BeginRun(trace.RunInfo{N: n, M: g.M(), Sources: n, MaxRounds: maxRounds})
+	}
 	tx := make([]int32, 0, n)
+	transmitting := make([]bool, n)
 	hits := make([]int32, n)
 	from := make([]int32, n) // sole transmitting neighbour per receiver
 	var touched []int32
 	round := 0
+	var totals trace.Counters
 	for round < maxRounds && complete < n {
 		round++
 		tx = tx[:0]
 		for v := 0; v < n; v++ {
 			if p.Transmit(int32(v), round, rng) {
 				tx = append(tx, int32(v))
+				transmitting[v] = true
 			}
 		}
 		for _, v := range tx {
@@ -146,25 +162,56 @@ func Run(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand) Result {
 				from[w] = v
 			}
 		}
-		inTx := make(map[int32]bool, len(tx))
-		for _, v := range tx {
-			inTx[v] = true
-		}
+		successes, collisions, newlyComplete := 0, 0, 0
 		for _, w := range touched {
-			if hits[w] == 1 && !inTx[w] {
-				src := from[w]
-				if counts[w] < n {
-					know[w].Union(know[src])
-					c := know[w].Count()
-					if c == n && counts[w] != n {
-						complete++
+			if !transmitting[w] {
+				if hits[w] == 1 {
+					successes++
+					src := from[w]
+					if counts[w] < n {
+						know[w].Union(know[src])
+						c := know[w].Count()
+						if c == n && counts[w] != n {
+							complete++
+							newlyComplete++
+						}
+						counts[w] = c
 					}
-					counts[w] = c
+				} else {
+					collisions++
 				}
 			}
 			hits[w] = 0
 		}
 		touched = touched[:0]
+		for _, v := range tx {
+			transmitting[v] = false
+		}
+		rec := trace.RoundRecord{
+			Round:         round,
+			Transmitters:  len(tx),
+			Successes:     successes,
+			Collisions:    collisions,
+			Silent:        n - len(tx) - successes - collisions,
+			NewlyInformed: newlyComplete,
+			Informed:      complete,
+		}
+		totals.Apply(rec)
+		if obs != nil {
+			obs.Round(rec)
+		}
+	}
+	if obs != nil {
+		obs.EndRun(trace.Summary{
+			Completed:     complete == n,
+			Rounds:        round,
+			Informed:      complete,
+			N:             n,
+			Transmissions: totals.Transmissions,
+			Successes:     totals.Successes,
+			Collisions:    totals.Collisions,
+			NewlyInformed: totals.NewlyInformed,
+		})
 	}
 
 	res := Result{Completed: complete == n, Rounds: round, MinKnown: n}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -256,5 +257,51 @@ func TestGossipMatchesReferenceImplementation(t *testing.T) {
 			t.Fatalf("trial %d: engine (total=%d min=%d) != reference (total=%d min=%d)",
 				trial, res.KnownTotal, res.MinKnown, wantTotal, wantMin)
 		}
+	}
+}
+
+func TestRunObservedMatchesRun(t *testing.T) {
+	const n = 50
+	g := connected(t, n, 8, 5)
+	p := NewPhased(n, 8)
+	budget := 400
+	plain := Run(g, p, budget, xrand.New(3))
+	var c trace.Counters
+	observed := RunObserved(g, p, budget, xrand.New(3), &c)
+	if plain != observed {
+		t.Fatalf("observed run diverged: %+v vs %+v", observed, plain)
+	}
+	if c.Runs != 1 || c.Rounds != observed.Rounds {
+		t.Fatalf("counters %+v for %d rounds", c, observed.Rounds)
+	}
+	if observed.Completed && (c.Completed != 1 || c.Informed != n) {
+		t.Fatalf("completion not observed: %+v", c)
+	}
+	// Per-round quantities partition the node set.
+	if got := c.Transmissions + c.Successes + c.Collisions + c.Silent; got != c.Rounds*n {
+		t.Fatalf("tx+ok+col+silent = %d, want rounds*n = %d", got, c.Rounds*n)
+	}
+}
+
+func TestRunObservedRecords(t *testing.T) {
+	const n = 40
+	g := connected(t, n, 7, 9)
+	var rec trace.Recorder
+	res := RunObserved(g, NewPhased(n, 7), 400, xrand.New(4), &rec)
+	if !rec.Began || !rec.Ended {
+		t.Fatalf("begin/end not delivered")
+	}
+	if rec.Info.N != n || rec.Info.Sources != n {
+		t.Fatalf("run info %+v", rec.Info)
+	}
+	if len(rec.Records) != res.Rounds {
+		t.Fatalf("%d records for %d rounds", len(rec.Records), res.Rounds)
+	}
+	last := rec.Records[len(rec.Records)-1]
+	if res.Completed && last.Informed != n {
+		t.Fatalf("last record informed %d, want %d", last.Informed, n)
+	}
+	if rec.Summary.Rounds != res.Rounds || rec.Summary.Completed != res.Completed {
+		t.Fatalf("summary %+v vs result %+v", rec.Summary, res)
 	}
 }

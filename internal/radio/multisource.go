@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -35,7 +36,16 @@ func NewEngineMulti(g *graph.Graph, sources []int32, policy TransmitterPolicy) *
 
 // RunProtocolMulti is RunProtocol starting from several sources.
 func RunProtocolMulti(g *graph.Graph, sources []int32, p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	return RunProtocolMultiObserved(g, sources, p, maxRounds, rng, nil)
+}
+
+// RunProtocolMultiObserved is RunProtocolMulti with a trace observer
+// attached for the duration of the run (nil behaves exactly like
+// RunProtocolMulti; the observer consumes no randomness, so results are
+// bit-for-bit identical either way).
+func RunProtocolMultiObserved(g *graph.Graph, sources []int32, p Protocol, maxRounds int, rng *xrand.Rand, obs trace.Observer) Result {
 	e := NewEngineMulti(g, sources, StrictInformed)
+	e.Attach(obs)
 	e.runProtocol(p, maxRounds, rng)
 	return resultOf(e)
 }
@@ -45,6 +55,14 @@ func RunProtocolMulti(g *graph.Graph, sources []int32, p Protocol, maxRounds int
 // rounds (sentinel maxRounds+1 for incomplete runs). It quantifies the
 // "for any u ∈ V" part of the paper's theorems.
 func SourceSweep(g *graph.Graph, k int, p Protocol, maxRounds int, rng *xrand.Rand) []int {
+	return SourceSweepObserved(g, k, p, maxRounds, rng, nil)
+}
+
+// SourceSweepObserved is SourceSweep with a trace observer attached to the
+// shared engine: the observer sees one BeginRun/EndRun cycle per source
+// (a trace.Counters therefore aggregates over the whole sweep). A nil
+// observer behaves exactly like SourceSweep.
+func SourceSweepObserved(g *graph.Graph, k int, p Protocol, maxRounds int, rng *xrand.Rand, obs trace.Observer) []int {
 	n := g.N()
 	if k > n {
 		k = n
@@ -58,6 +76,7 @@ func SourceSweep(g *graph.Graph, k int, p Protocol, maxRounds int, rng *xrand.Ra
 	// the same per-source results as a fresh engine (same derived streams),
 	// without k graph-sized allocations.
 	e := NewEngine(g, 0, StrictInformed)
+	e.Attach(obs)
 	for i, s := range sources {
 		e.ResetFor(s)
 		e.runProtocol(p, maxRounds, rng.Derive(uint64(i)+1))

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -51,7 +52,10 @@ const (
 // the message.
 const NotInformed int32 = -1
 
-// Stats accumulates counters over the rounds executed by an Engine.
+// Stats accumulates counters over the rounds executed by an Engine. It is
+// a view of the engine's built-in trace.Counters (see Engine.Stats): the
+// engine accounts every round through the same trace.RoundRecord it hands
+// to an attached observer, so Stats and observer-side totals cannot drift.
 type Stats struct {
 	Rounds        int // rounds executed
 	Transmissions int // total node-transmissions
@@ -76,9 +80,15 @@ type Engine struct {
 	transmitting []bool
 	txList       []int32
 	round        int
-	stats        Stats
-	newly        []int32 // scratch reused across rounds
-	txScratch    []int32 // scratch transmit set for the protocol runners
+	// counters is the engine's accounting, fed one trace.RoundRecord per
+	// round by the same code path that notifies obs; Stats() reads from it.
+	counters trace.Counters
+	// obs, when non-nil, receives a trace.RoundRecord after every round.
+	// The nil case costs one branch per round — the untraced fast path
+	// allocates nothing (see reuse_test.go and BenchmarkBroadcastReuse).
+	obs       trace.Observer
+	newly     []int32 // scratch reused across rounds
+	txScratch []int32 // scratch transmit set for the protocol runners
 	// Scratch for RoundWithFeedback (allocated lazily).
 	cdHits    []int32
 	cdMark    []bool
@@ -123,7 +133,7 @@ func (e *Engine) Reset() {
 	e.informedAt[e.src] = 0
 	e.numInformed = 1
 	e.round = 0
-	e.stats = Stats{}
+	e.counters.Reset()
 	// Per-round scratch is empty after any completed or failed Round, but
 	// clear it anyway so Reset restores a pristine engine unconditionally.
 	for _, w := range e.touched {
@@ -152,8 +162,35 @@ func (e *Engine) Source() int32 { return e.src }
 // RoundCount returns the number of rounds executed so far.
 func (e *Engine) RoundCount() int { return e.round }
 
-// Stats returns the accumulated counters.
-func (e *Engine) Stats() Stats { return e.stats }
+// Stats returns the accumulated counters, a view of the engine's built-in
+// trace.Counters (see Counters).
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Rounds:        e.counters.Rounds,
+		Transmissions: e.counters.Transmissions,
+		Deliveries:    e.counters.Successes,
+		NewlyInformed: e.counters.NewlyInformed,
+		Collisions:    e.counters.Collisions,
+	}
+}
+
+// Counters returns the engine's built-in aggregate metrics since the last
+// Reset, including the silent-listener total that Stats omits.
+func (e *Engine) Counters() trace.Counters { return e.counters }
+
+// Attach sets the engine's observer: after every executed round the
+// engine sends it a trace.RoundRecord, and the run helpers
+// (RunProtocol*/ExecuteSchedule*/BroadcastTime*) bracket each run with
+// BeginRun/EndRun notifications. Attach(nil) detaches. The attached
+// observer survives Reset/ResetFor, so one observer can aggregate across
+// many trials on a reused engine.
+//
+// With no observer attached the per-round overhead is a single nil check;
+// the allocation-free fast path is unchanged.
+func (e *Engine) Attach(obs trace.Observer) { e.obs = obs }
+
+// Observer returns the currently attached observer, or nil.
+func (e *Engine) Observer() trace.Observer { return e.obs }
 
 // Informed reports whether v holds the message.
 func (e *Engine) Informed(v int32) bool { return e.informed[v] }
@@ -233,8 +270,6 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 		}
 	}
 	e.round++
-	e.stats.Rounds++
-	e.stats.Transmissions += len(e.txList)
 
 	// Count transmitting neighbours of every node touched.
 	for _, v := range e.txList {
@@ -248,22 +283,39 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 
 	// Deliveries: listening nodes with exactly one transmitting neighbour.
 	e.newly = e.newly[:0]
+	successes, collisions := 0, 0
 	for _, w := range e.touched {
 		if e.transmitting[w] {
 			continue // transmitting node does not listen
 		}
 		if e.hits[w] == 1 {
-			e.stats.Deliveries++
+			successes++
 			if !e.informed[w] {
 				e.informed[w] = true
 				e.informedAt[w] = int32(e.round)
 				e.numInformed++
-				e.stats.NewlyInformed++
 				e.newly = append(e.newly, w)
 			}
 		} else {
-			e.stats.Collisions++
+			collisions++
 		}
+	}
+
+	// Account the round and notify the observer through the same record,
+	// so Stats() and observer totals are definitionally consistent. Every
+	// node transmits, cleanly receives, collides, or hears silence.
+	rec := trace.RoundRecord{
+		Round:         e.round,
+		Transmitters:  len(e.txList),
+		Successes:     successes,
+		Collisions:    collisions,
+		Silent:        e.g.N() - len(e.txList) - successes - collisions,
+		NewlyInformed: len(e.newly),
+		Informed:      e.numInformed,
+	}
+	e.counters.Apply(rec)
+	if e.obs != nil {
+		e.obs.Round(rec)
 	}
 
 	// Reset per-round scratch.
@@ -273,6 +325,36 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 	e.touched = e.touched[:0]
 	e.clearTransmitMarks()
 	return e.newly, nil
+}
+
+// observeBegin notifies an attached observer that a run is starting; the
+// run helpers call it after any Reset, so Sources reflects the initially
+// informed set.
+func (e *Engine) observeBegin(maxRounds int) {
+	if e.obs == nil {
+		return
+	}
+	e.obs.BeginRun(trace.RunInfo{N: e.g.N(), M: e.g.M(), Sources: e.numInformed, MaxRounds: maxRounds})
+}
+
+// observeEnd notifies an attached observer that the run is over. It fires
+// on error aborts too, so an observer that saw BeginRun always sees a
+// matching EndRun (JSONL writers flush there).
+func (e *Engine) observeEnd() {
+	if e.obs == nil {
+		return
+	}
+	c := e.counters
+	e.obs.EndRun(trace.Summary{
+		Completed:     e.Done(),
+		Rounds:        e.round,
+		Informed:      e.numInformed,
+		N:             e.g.N(),
+		Transmissions: c.Transmissions,
+		Successes:     c.Successes,
+		Collisions:    c.Collisions,
+		NewlyInformed: c.NewlyInformed,
+	})
 }
 
 func (e *Engine) clearTransmitMarks() {
@@ -318,15 +400,28 @@ func ExecuteScheduleOn(e *Engine, s *Schedule) (Result, error) {
 	return executeScheduleOn(e, s)
 }
 
+// ExecuteScheduleObserved replays the schedule on a fresh engine with the
+// given initially informed sources and a trace observer attached (nil obs
+// adds no overhead). It is the observed, multi-source-capable form of
+// ExecuteSchedule.
+func ExecuteScheduleObserved(g *graph.Graph, sources []int32, s *Schedule, policy TransmitterPolicy, obs trace.Observer) (Result, error) {
+	e := NewEngineMulti(g, sources, policy)
+	e.Attach(obs)
+	return executeScheduleOn(e, s)
+}
+
 func executeScheduleOn(e *Engine, s *Schedule) (Result, error) {
+	e.observeBegin(s.Len())
 	for _, set := range s.Sets {
 		if e.Done() {
 			break
 		}
 		if _, err := e.Round(set); err != nil {
+			e.observeEnd()
 			return Result{}, err
 		}
 	}
+	e.observeEnd()
 	return resultOf(e), nil
 }
 
@@ -337,7 +432,7 @@ func resultOf(e *Engine) Result {
 		Informed:   e.numInformed,
 		N:          e.g.N(),
 		InformedAt: e.InformedTimes(),
-		Stats:      e.stats,
+		Stats:      e.Stats(),
 	}
 }
 
@@ -366,6 +461,8 @@ func (f ProtocolFunc) Transmit(v int32, round int, informedAt int32, rng *xrand.
 // round budget, reusing the engine's scratch transmit set so steady-state
 // rounds allocate nothing.
 func (e *Engine) runProtocol(p Protocol, maxRounds int, rng *xrand.Rand) {
+	e.observeBegin(maxRounds)
+	defer e.observeEnd()
 	for e.round < maxRounds && !e.Done() {
 		tx := e.txScratch[:0]
 		round := e.round + 1

@@ -1,29 +1,19 @@
 package radio
 
-// Per-round tracing: detailed round records for debugging protocols and
-// for the planner/radiosim tools, kept out of the hot simulation paths
-// (the untraced runners allocate nothing per round).
+// Per-round tracing conveniences built on the trace.Observer layer: the
+// *Trace runners attach an in-memory trace.Recorder for the duration of
+// one run and return the complete per-round record list as a value. They
+// compose with an already-attached observer (both see every round), and
+// the untraced runners keep their allocation-free hot path.
 
 import (
-	"fmt"
-
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
-// RoundRecord describes one executed round.
-type RoundRecord struct {
-	Round         int
-	Transmitters  int // scheduled transmitters this round (before dedup)
-	NewlyInformed int
-	Informed      int // cumulative after the round
-	Collisions    int // cumulative collision count after the round
-}
-
-// String formats the record for log output.
-func (r RoundRecord) String() string {
-	return fmt.Sprintf("round %3d: %6d transmitters, %6d newly informed, %7d total",
-		r.Round, r.Transmitters, r.NewlyInformed, r.Informed)
-}
+// RoundRecord describes one executed round; it is the engine-facing alias
+// of trace.RoundRecord.
+type RoundRecord = trace.RoundRecord
 
 // TracedResult bundles a Result with its per-round records.
 type TracedResult struct {
@@ -31,56 +21,37 @@ type TracedResult struct {
 	Trace []RoundRecord
 }
 
+// withRecorder attaches rec alongside any existing observer, runs fn, and
+// restores the previous observer.
+func withRecorder(e *Engine, rec *trace.Recorder, fn func()) {
+	prev := e.obs
+	e.Attach(trace.Multi(prev, rec))
+	defer e.Attach(prev)
+	fn()
+}
+
 // ExecuteScheduleTrace runs the schedule on the engine and records every
 // round. The engine's policy applies as in Engine.Round.
 func ExecuteScheduleTrace(e *Engine, s *Schedule) (TracedResult, error) {
-	var out TracedResult
-	for _, set := range s.Sets {
-		if e.Done() {
-			break
-		}
-		newly, err := e.Round(set)
-		if err != nil {
-			return out, err
-		}
-		out.Trace = append(out.Trace, RoundRecord{
-			Round:         e.RoundCount(),
-			Transmitters:  len(set),
-			NewlyInformed: len(newly),
-			Informed:      e.InformedCount(),
-			Collisions:    e.Stats().Collisions,
-		})
+	var rec trace.Recorder
+	var res Result
+	var err error
+	withRecorder(e, &rec, func() {
+		res, err = executeScheduleOn(e, s)
+	})
+	if err != nil {
+		return TracedResult{}, err
 	}
-	out.Result = resultOf(e)
-	return out, nil
+	return TracedResult{Result: res, Trace: rec.Records}, nil
 }
 
 // RunProtocolTrace simulates the protocol like RunProtocol and records
-// every round.
+// every round. The engine is driven from its current state (it is not
+// reset), matching Engine.runProtocol.
 func RunProtocolTrace(e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) TracedResult {
-	var out TracedResult
-	var tx []int32
-	g := e.Graph()
-	for e.RoundCount() < maxRounds && !e.Done() {
-		tx = tx[:0]
-		round := e.RoundCount() + 1
-		for v := 0; v < g.N(); v++ {
-			if e.Informed(int32(v)) && p.Transmit(int32(v), round, e.InformedAt(int32(v)), rng) {
-				tx = append(tx, int32(v))
-			}
-		}
-		newly, err := e.Round(tx)
-		if err != nil {
-			panic(err) // only informed nodes are offered
-		}
-		out.Trace = append(out.Trace, RoundRecord{
-			Round:         e.RoundCount(),
-			Transmitters:  len(tx),
-			NewlyInformed: len(newly),
-			Informed:      e.InformedCount(),
-			Collisions:    e.Stats().Collisions,
-		})
-	}
-	out.Result = resultOf(e)
-	return out
+	var rec trace.Recorder
+	withRecorder(e, &rec, func() {
+		e.runProtocol(p, maxRounds, rng)
+	})
+	return TracedResult{Result: resultOf(e), Trace: rec.Records}
 }

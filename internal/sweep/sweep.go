@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -79,6 +80,66 @@ func RunWith[C any](trials int, baseSeed uint64, newCtx func() C, trial func(rng
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// RunObserved is RunWith with per-worker trace observers: each worker
+// goroutine calls newObs once and passes that observer to every trial it
+// executes (alongside the per-worker context), and all observers are
+// returned once the sweep completes, one per worker, for merging.
+//
+// Observers are never shared across workers, so they need no
+// synchronisation; additive aggregates (trace.Counters via Add) merge to
+// totals independent of worker count and scheduling. Per-round streams
+// (JSONL writers, recorders) interleave trials within a worker in
+// execution order, which is scheduling-dependent — use counters-style
+// observers when determinism across worker counts matters.
+func RunObserved[C any](trials int, baseSeed uint64, newCtx func() C, newObs func() trace.Observer,
+	trial func(rng *xrand.Rand, ctx C, obs trace.Observer) float64) ([]float64, []trace.Observer) {
+	out := make([]float64, trials)
+	if trials <= 0 {
+		return out[:0], nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	parent := xrand.New(baseSeed)
+	rngs := make([]*xrand.Rand, trials)
+	for i := range rngs {
+		rngs[i] = parent.Derive(uint64(i) + 1)
+	}
+	observers := make([]trace.Observer, workers)
+	if workers == 1 {
+		ctx := newCtx()
+		observers[0] = newObs()
+		for i := 0; i < trials; i++ {
+			out[i] = trial(rngs[i], ctx, observers[0])
+		}
+		return out, observers
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := newCtx()
+			obs := newObs()
+			observers[w] = obs
+			for i := range next {
+				out[i] = trial(rngs[i], ctx, obs)
+			}
+		}(w)
+	}
+	for i := 0; i < trials; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out, observers
 }
 
 // Point is one configuration of a 1-D sweep with its measurements.

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/trace"
 	"repro/internal/xrand"
 )
 
@@ -185,5 +186,67 @@ func TestRunMoreWorkersThanTrials(t *testing.T) {
 	got := Run(3, 7, func(rng *xrand.Rand) float64 { return 1 })
 	if len(got) != 3 {
 		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestRunObservedMergesToSerialTotals(t *testing.T) {
+	// Totals from merged per-worker counters must equal a serial run's,
+	// regardless of worker count.
+	trial := func(rng *xrand.Rand, _ struct{}, obs trace.Observer) float64 {
+		rounds := 1 + rng.Intn(5)
+		obs.BeginRun(trace.RunInfo{N: 10, MaxRounds: rounds})
+		for r := 1; r <= rounds; r++ {
+			obs.Round(trace.RoundRecord{Round: r, Transmitters: 2, Successes: 1, Silent: 7, Informed: r + 1})
+		}
+		obs.EndRun(trace.Summary{Completed: true, Rounds: rounds})
+		return float64(rounds)
+	}
+	newCtx := func() struct{} { return struct{}{} }
+	newObs := func() trace.Observer { return &trace.Counters{} }
+
+	run := func(workers int) (samples []float64, total trace.Counters) {
+		old := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(old)
+		samples, observers := RunObserved(24, 77, newCtx, newObs, trial)
+		for _, o := range observers {
+			total.Add(*o.(*trace.Counters))
+		}
+		return samples, total
+	}
+	serialSamples, serialTotal := run(1)
+	parSamples, parTotal := run(4)
+	for i := range serialSamples {
+		if serialSamples[i] != parSamples[i] {
+			t.Fatalf("sample %d differs across worker counts", i)
+		}
+	}
+	if serialTotal != parTotal {
+		t.Fatalf("merged counters differ: serial %+v, parallel %+v", serialTotal, parTotal)
+	}
+	if serialTotal.Runs != 24 || serialTotal.Completed != 24 {
+		t.Fatalf("totals %+v", serialTotal)
+	}
+	var wantRounds int
+	for _, s := range serialSamples {
+		wantRounds += int(s)
+	}
+	if serialTotal.Rounds != wantRounds {
+		t.Fatalf("rounds total %d, want %d", serialTotal.Rounds, wantRounds)
+	}
+}
+
+func TestRunObservedOneObserverPerWorker(t *testing.T) {
+	old := runtime.GOMAXPROCS(3)
+	defer runtime.GOMAXPROCS(old)
+	var created atomic.Int32
+	_, observers := RunObserved(9, 5,
+		func() struct{} { return struct{}{} },
+		func() trace.Observer { created.Add(1); return &trace.Counters{} },
+		func(rng *xrand.Rand, _ struct{}, obs trace.Observer) float64 { return 0 })
+	if int(created.Load()) != len(observers) {
+		t.Fatalf("created %d observers, returned %d", created.Load(), len(observers))
+	}
+	if len(observers) < 1 || len(observers) > 3 {
+		t.Fatalf("%d observers for 3 workers", len(observers))
 	}
 }

@@ -1,0 +1,94 @@
+package trace
+
+import "math"
+
+// FrontierProfile is an Observer that captures the growth of the
+// information frontier: Growth[i] is the number of nodes informed for the
+// first time in round i (Growth[0] is the source count). For the
+// non-selective flooding phase of the paper's protocols the frontier is
+// exactly the BFS layer structure of Lemma 3, so the growth ratios should
+// track d while layers are small compared to n/d.
+//
+// The profile records the last observed run; Reset (or a new BeginRun)
+// clears it.
+type FrontierProfile struct {
+	// N is the graph size of the observed run.
+	N int
+	// Degree is an optional expected average degree used by Predicted; set
+	// it to the d of the sampled G(n, d/n).
+	Degree float64
+	// Growth[i] is the newly informed count of round i; Growth[0] is the
+	// number of sources.
+	Growth []int
+	// Cumulative[i] is the informed count after round i.
+	Cumulative []int
+}
+
+// BeginRun implements Observer.
+func (f *FrontierProfile) BeginRun(info RunInfo) {
+	f.N = info.N
+	f.Growth = append(f.Growth[:0], info.Sources)
+	f.Cumulative = append(f.Cumulative[:0], info.Sources)
+}
+
+// Round implements Observer.
+func (f *FrontierProfile) Round(r RoundRecord) {
+	if len(f.Growth) == 0 {
+		// Manually driven engine without BeginRun: synthesise layer 0 from
+		// the first record.
+		f.Growth = append(f.Growth, r.Informed-r.NewlyInformed)
+		f.Cumulative = append(f.Cumulative, r.Informed-r.NewlyInformed)
+	}
+	f.Growth = append(f.Growth, r.NewlyInformed)
+	f.Cumulative = append(f.Cumulative, r.Informed)
+}
+
+// EndRun implements Observer.
+func (f *FrontierProfile) EndRun(Summary) {}
+
+// Reset clears the profile for reuse.
+func (f *FrontierProfile) Reset() {
+	f.N = 0
+	f.Growth = f.Growth[:0]
+	f.Cumulative = f.Cumulative[:0]
+}
+
+// Rounds returns the number of observed rounds.
+func (f *FrontierProfile) Rounds() int {
+	if len(f.Growth) == 0 {
+		return 0
+	}
+	return len(f.Growth) - 1
+}
+
+// GrowthRatios returns Growth[i+1]/Growth[i] for consecutive rounds with
+// nonzero frontiers (NaN where the earlier frontier is empty) — the
+// measurable analogue of Lemma 3's |T_{i+1}|/|T_i| ≈ d.
+func (f *FrontierProfile) GrowthRatios() []float64 {
+	if len(f.Growth) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(f.Growth)-1)
+	for i := 0; i+1 < len(f.Growth); i++ {
+		if f.Growth[i] == 0 {
+			out = append(out, math.NaN())
+			continue
+		}
+		out = append(out, float64(f.Growth[i+1])/float64(f.Growth[i]))
+	}
+	return out
+}
+
+// Predicted returns the Lemma-3 prediction min(d^i, n) for the cumulative
+// informed count after round i, using the configured Degree. It returns 0
+// when Degree is unset.
+func (f *FrontierProfile) Predicted(i int) float64 {
+	if f.Degree <= 0 || f.N == 0 {
+		return 0
+	}
+	p := math.Pow(f.Degree, float64(i))
+	if p > float64(f.N) {
+		return float64(f.N)
+	}
+	return p
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONLWriter is an Observer that streams a run as JSON Lines: one
+// "begin" record, one record per round, one "end" record. Each line is a
+// single JSON object whose "type" field is "begin", "round" or "end"; the
+// remaining fields are the corresponding RunInfo, RoundRecord or Summary
+// fields. Field order is fixed by the struct definitions, so output for a
+// fixed seed is byte-for-byte reproducible (see the golden-file test).
+//
+// Writes are buffered; EndRun flushes. Call Flush explicitly when driving
+// rounds manually, and check Err once the run is over: the writer is
+// error-sticky and stops writing after the first underlying write error.
+type JSONLWriter struct {
+	w   *bufio.Writer
+	err error
+	// RoundsOnly suppresses the begin/end lines, leaving exactly one line
+	// per executed round.
+	RoundsOnly bool
+}
+
+// NewJSONLWriter returns a JSONL writer streaming to w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+type jsonlBegin struct {
+	Type string `json:"type"`
+	RunInfo
+}
+
+type jsonlRound struct {
+	Type string `json:"type"`
+	RoundRecord
+}
+
+type jsonlEnd struct {
+	Type string `json:"type"`
+	Summary
+}
+
+func (j *JSONLWriter) emit(v interface{}) {
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		j.err = err
+		return
+	}
+	if _, err := j.w.Write(line); err != nil {
+		j.err = err
+		return
+	}
+	j.err = j.w.WriteByte('\n')
+}
+
+// BeginRun implements Observer.
+func (j *JSONLWriter) BeginRun(info RunInfo) {
+	if j.RoundsOnly {
+		return
+	}
+	j.emit(jsonlBegin{Type: "begin", RunInfo: info})
+}
+
+// Round implements Observer.
+func (j *JSONLWriter) Round(r RoundRecord) {
+	j.emit(jsonlRound{Type: "round", RoundRecord: r})
+}
+
+// EndRun implements Observer.
+func (j *JSONLWriter) EndRun(s Summary) {
+	if !j.RoundsOnly {
+		j.emit(jsonlEnd{Type: "end", Summary: s})
+	}
+	j.flush()
+}
+
+func (j *JSONLWriter) flush() {
+	if err := j.w.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
+// Flush writes out any buffered lines.
+func (j *JSONLWriter) Flush() error {
+	j.flush()
+	return j.err
+}
+
+// Err returns the first error encountered while writing, if any.
+func (j *JSONLWriter) Err() error { return j.err }

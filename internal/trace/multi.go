@@ -1,0 +1,45 @@
+package trace
+
+// Multi composes observers: every notification fans out to each observer
+// in order. Nil entries are dropped; Multi() and Multi(nil) return nil, and
+// Multi(o) returns o itself, so callers can compose unconditionally
+// without adding indirection in the common zero- and one-observer cases.
+func Multi(obs ...Observer) Observer {
+	kept := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return multi(kept)
+	}
+}
+
+type multi []Observer
+
+// BeginRun implements Observer.
+func (m multi) BeginRun(info RunInfo) {
+	for _, o := range m {
+		o.BeginRun(info)
+	}
+}
+
+// Round implements Observer.
+func (m multi) Round(r RoundRecord) {
+	for _, o := range m {
+		o.Round(r)
+	}
+}
+
+// EndRun implements Observer.
+func (m multi) EndRun(s Summary) {
+	for _, o := range m {
+		o.EndRun(s)
+	}
+}

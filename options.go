@@ -1,0 +1,157 @@
+package repro
+
+// Options-based facade: Run is the single entry point for broadcast
+// simulations, replacing the positional-argument sprawl of
+// Broadcast(g, src, d, rng) / RunProtocol(g, src, p, maxRounds, rng) /
+// ExecuteSchedule(g, src, s). The old functions remain as thin wrappers
+// over Run, so existing callers keep working and keep their exact
+// behaviour (same randomness stream, bit-for-bit identical results).
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/radio"
+)
+
+// Option configures a Run call.
+type Option func(*runConfig)
+
+type runConfig struct {
+	degree    float64
+	hasDegree bool
+	protocol  Protocol
+	schedule  *Schedule
+	maxRounds int
+	hasMax    bool
+	rng       *Rand
+	seed      uint64
+	hasSeed   bool
+	obs       Observer
+	extraSrc  []int32
+}
+
+// WithDegree sizes the paper's distributed protocol (Theorem 7) for
+// expected average degree d — the parametrisation d = pn of G(n, d/n).
+// Mutually exclusive with WithProtocol and WithSchedule. When none of the
+// three is given, Run uses the graph's mean degree.
+func WithDegree(d float64) Option {
+	return func(c *runConfig) { c.degree, c.hasDegree = d, true }
+}
+
+// WithProtocol runs an arbitrary distributed protocol instead of the
+// paper's default. Mutually exclusive with WithDegree and WithSchedule.
+func WithProtocol(p Protocol) Option {
+	return func(c *runConfig) { c.protocol = p }
+}
+
+// WithSchedule replays an explicit centralized schedule (e.g. from
+// BuildSchedule) instead of running a distributed protocol. The schedule
+// length is the round budget; WithMaxRounds, WithDegree and WithProtocol
+// do not apply.
+func WithSchedule(s *Schedule) Option {
+	return func(c *runConfig) { c.schedule = s }
+}
+
+// WithMaxRounds caps the number of protocol rounds (0 runs no rounds at
+// all). The default is MaxRounds(g.N()), a generous budget beyond the
+// Θ(ln n) bound.
+func WithMaxRounds(m int) Option {
+	return func(c *runConfig) { c.maxRounds, c.hasMax = m, true }
+}
+
+// WithRand supplies the random source driving the protocol's choices.
+// Mutually exclusive with WithSeed.
+func WithRand(rng *Rand) Option {
+	return func(c *runConfig) { c.rng = rng }
+}
+
+// WithSeed is WithRand(NewRand(seed)): a fresh deterministic stream per
+// call, so the same seed always reproduces the same run. The default is
+// WithSeed(1).
+func WithSeed(seed uint64) Option {
+	return func(c *runConfig) { c.seed, c.hasSeed = seed, true }
+}
+
+// WithObserver attaches a round-level trace observer to the run: it
+// receives a BeginRun, one RoundRecord per executed round, and an EndRun.
+// Observers consume no randomness, so an observed run is bit-for-bit
+// identical to an unobserved one. Compose several with MultiObserver.
+func WithObserver(obs Observer) Option {
+	return func(c *runConfig) { c.obs = obs }
+}
+
+// WithSources adds further initially informed nodes beside src — the
+// multi-source broadcast of BroadcastMulti. Duplicates are tolerated.
+func WithSources(sources ...int32) Option {
+	return func(c *runConfig) { c.extraSrc = append(c.extraSrc, sources...) }
+}
+
+// Run simulates one broadcast of a message from src on g under the radio
+// model and returns the result. With no options it runs the paper's
+// distributed protocol (Theorem 7) sized for the graph's mean degree,
+// with a fresh seed-1 random stream and a generous round budget:
+//
+//	res, err := repro.Run(g, 0, repro.WithDegree(25))
+//
+// is equivalent to repro.Broadcast(g, 0, 25, repro.NewRand(1)). Options
+// select the protocol or schedule, the round budget, the randomness and
+// an observer; see the With* functions. Run only returns an error for
+// invalid option combinations or a schedule that violates the radio model
+// (an uninformed transmitter); protocol runs cannot fail — an exhausted
+// round budget is reported via Result.Completed.
+func Run(g *Graph, src int32, opts ...Option) (Result, error) {
+	var c runConfig
+	for _, o := range opts {
+		o(&c)
+	}
+	switch {
+	case c.protocol != nil && c.hasDegree:
+		return Result{}, errors.New("repro.Run: WithProtocol and WithDegree are mutually exclusive")
+	case c.schedule != nil && (c.protocol != nil || c.hasDegree):
+		return Result{}, errors.New("repro.Run: WithSchedule excludes WithProtocol/WithDegree")
+	case c.schedule != nil && c.hasMax:
+		return Result{}, errors.New("repro.Run: WithSchedule excludes WithMaxRounds (the schedule length is the budget)")
+	case c.rng != nil && c.hasSeed:
+		return Result{}, errors.New("repro.Run: WithRand and WithSeed are mutually exclusive")
+	case c.hasMax && c.maxRounds < 0:
+		return Result{}, fmt.Errorf("repro.Run: negative round budget %d", c.maxRounds)
+	}
+
+	sources := append([]int32{src}, c.extraSrc...)
+	if c.schedule != nil {
+		return radio.ExecuteScheduleObserved(g, sources, c.schedule, radio.StrictInformed, c.obs)
+	}
+
+	rng := c.rng
+	if rng == nil {
+		seed := uint64(1)
+		if c.hasSeed {
+			seed = c.seed
+		}
+		rng = NewRand(seed)
+	}
+	p := c.protocol
+	if p == nil {
+		d := c.degree
+		if !c.hasDegree {
+			d = meanDegree(g)
+		}
+		p = core.NewDistributedProtocol(g.N(), d)
+	}
+	maxRounds := c.maxRounds
+	if !c.hasMax {
+		maxRounds = core.MaxRoundsFor(g.N())
+	}
+	return radio.RunProtocolMultiObserved(g, sources, p, maxRounds, rng, c.obs), nil
+}
+
+// meanDegree returns 2m/n, the graph's empirical average degree (the
+// default protocol sizing when no WithDegree is given).
+func meanDegree(g *Graph) float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return 2 * float64(g.M()) / float64(g.N())
+}

@@ -1,0 +1,217 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func testGraph(t testing.TB, n int, d float64, seed uint64) *Graph {
+	t.Helper()
+	g, ok := ConnectedGnpDegree(n, d, NewRand(seed))
+	if !ok {
+		t.Skip("no connected sample")
+	}
+	return g
+}
+
+// TestRunReproducesBroadcast is the facade acceptance check: the options
+// entry point must reproduce the positional one bit-for-bit on the same
+// seed.
+func TestRunReproducesBroadcast(t *testing.T) {
+	const n = 2000
+	const d = 25.0
+	g := testGraph(t, n, d, 1)
+	for seed := uint64(1); seed <= 5; seed++ {
+		want := Broadcast(g, 0, d, NewRand(seed))
+		got, err := Run(g, 0, WithDegree(d), WithSeed(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Completed != want.Completed || got.Rounds != want.Rounds ||
+			got.Informed != want.Informed || got.Stats != want.Stats {
+			t.Fatalf("seed %d: Run %+v != Broadcast %+v", seed, got, want)
+		}
+		for i := range want.InformedAt {
+			if got.InformedAt[i] != want.InformedAt[i] {
+				t.Fatalf("seed %d: InformedAt[%d] = %d, want %d", seed, i, got.InformedAt[i], want.InformedAt[i])
+			}
+		}
+	}
+	// Default seed is 1.
+	def, err := Run(g, 0, WithDegree(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Broadcast(g, 0, d, NewRand(1))
+	if def.Rounds != want.Rounds || def.Stats != want.Stats {
+		t.Fatalf("default-seed Run %+v != Broadcast(seed 1) %+v", def, want)
+	}
+}
+
+// TestRunScheduleMatchesExecuteSchedule: the schedule path of Run is
+// ExecuteSchedule.
+func TestRunScheduleMatchesExecuteSchedule(t *testing.T) {
+	const n = 1000
+	const d = 16.0
+	g := testGraph(t, n, d, 2)
+	sched, err := BuildSchedule(g, 0, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ExecuteSchedule(g, 0, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(g, 0, WithSchedule(sched))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Completed != want.Completed || got.Rounds != want.Rounds || got.Stats != want.Stats {
+		t.Fatalf("Run schedule %+v != ExecuteSchedule %+v", got, want)
+	}
+}
+
+func TestRunOptionConflicts(t *testing.T) {
+	g := GnpDegree(50, 6, NewRand(1))
+	sched := &Schedule{Sets: [][]int32{{0}}}
+	p := NewProtocol(50, 6)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"protocol+degree", []Option{WithProtocol(p), WithDegree(6)}},
+		{"schedule+degree", []Option{WithSchedule(sched), WithDegree(6)}},
+		{"schedule+protocol", []Option{WithSchedule(sched), WithProtocol(p)}},
+		{"schedule+maxrounds", []Option{WithSchedule(sched), WithMaxRounds(5)}},
+		{"rand+seed", []Option{WithRand(NewRand(1)), WithSeed(2)}},
+		{"negative budget", []Option{WithMaxRounds(-1)}},
+	}
+	for _, c := range cases {
+		if _, err := Run(g, 0, c.opts...); err == nil {
+			t.Errorf("%s: conflicting options accepted", c.name)
+		}
+	}
+}
+
+func TestRunWithMaxRoundsZero(t *testing.T) {
+	g := GnpDegree(50, 6, NewRand(1))
+	res, err := Run(g, 0, WithMaxRounds(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || res.Informed != 1 {
+		t.Fatalf("zero-budget run executed rounds: %+v", res)
+	}
+}
+
+// TestRunDefaultProtocolUsesMeanDegree: with no degree/protocol option the
+// run still completes, sized by the graph's empirical mean degree.
+func TestRunDefaultProtocolUsesMeanDegree(t *testing.T) {
+	g := testGraph(t, 1000, 14, 4)
+	res, err := Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("default Run incomplete: %+v", res)
+	}
+	d := 2 * float64(g.M()) / float64(g.N())
+	want := Broadcast(g, 0, d, NewRand(1))
+	if res.Rounds != want.Rounds || res.Stats != want.Stats {
+		t.Fatalf("default Run %+v != Broadcast(mean degree) %+v", res, want)
+	}
+}
+
+func TestRunWithObserver(t *testing.T) {
+	const n = 1000
+	const d = 12.0
+	g := testGraph(t, n, d, 5)
+	var c Counters
+	var f FrontierProfile
+	res, err := Run(g, 0, WithDegree(d), WithSeed(9), WithObserver(MultiObserver(&c, &f)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Rounds != res.Rounds || c.Informed != res.Informed {
+		t.Fatalf("counters (rounds=%d informed=%d) != result (%d informed=%d)",
+			c.Rounds, c.Informed, res.Rounds, res.Informed)
+	}
+	if c.Successes != res.Stats.Deliveries || c.Collisions != res.Stats.Collisions {
+		t.Fatalf("counters %+v != result stats %+v", c, res.Stats)
+	}
+	if f.Rounds() != res.Rounds || f.Cumulative[len(f.Cumulative)-1] != res.Informed {
+		t.Fatalf("frontier profile inconsistent: %d rounds, final %d", f.Rounds(), f.Cumulative[len(f.Cumulative)-1])
+	}
+	// Observation must not perturb the run.
+	plain, _ := Run(g, 0, WithDegree(d), WithSeed(9))
+	if plain.Rounds != res.Rounds || plain.Stats != res.Stats {
+		t.Fatalf("observed run diverged from unobserved: %+v vs %+v", res, plain)
+	}
+}
+
+func TestRunWithSourcesMatchesBroadcastMulti(t *testing.T) {
+	const n = 800
+	const d = 10.0
+	g := testGraph(t, n, d, 6)
+	sources := []int32{0, 17, 23}
+	want := BroadcastMulti(g, sources, d, NewRand(8))
+	got, err := Run(g, 0, WithSources(17, 23), WithDegree(d), WithRand(NewRand(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.Stats != want.Stats {
+		t.Fatalf("Run multi %+v != BroadcastMulti %+v", got, want)
+	}
+}
+
+func TestRunJSONLWriterEmitsValidRecords(t *testing.T) {
+	g := testGraph(t, 500, 10, 7)
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	res, err := Run(g, 0, WithDegree(10), WithSeed(3), WithObserver(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(buf.Bytes(), "\n"), []byte("\n"))
+	if len(lines) != res.Rounds+2 {
+		t.Fatalf("%d JSONL lines for %d rounds", len(lines), res.Rounds)
+	}
+	for i, line := range lines {
+		var m map[string]interface{}
+		if err := json.Unmarshal(line, &m); err != nil {
+			t.Fatalf("line %d invalid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestGossipWithMatchesGossip(t *testing.T) {
+	const n = 60
+	const d = 8.0
+	g := testGraph(t, n, d, 9)
+	want := Gossip(g, d, 500, NewRand(2))
+	got := GossipWith(g, NewPhasedGossip(n, d), 500, NewRand(2))
+	if got != want {
+		t.Fatalf("GossipWith %+v != Gossip %+v", got, want)
+	}
+	var c Counters
+	observed := GossipWith(g, NewPhasedGossip(n, d), 500, NewRand(2), &c)
+	if observed != want {
+		t.Fatalf("observed GossipWith diverged: %+v vs %+v", observed, want)
+	}
+	if c.Rounds != want.Rounds {
+		t.Fatalf("gossip counters rounds %d != result %d", c.Rounds, want.Rounds)
+	}
+}
+
+func TestBroadcastMultiObserver(t *testing.T) {
+	g := testGraph(t, 400, 9, 10)
+	var c Counters
+	res := BroadcastMulti(g, []int32{0, 5}, 9, NewRand(4), &c)
+	if c.Rounds != res.Rounds || c.Informed != res.Informed {
+		t.Fatalf("counters %+v != result %+v", c, res)
+	}
+}

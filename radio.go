@@ -12,23 +12,39 @@
 //
 //   - Random-graph generation: Gnp, GnpDegree, Gnm and deterministic
 //     topologies (see internal/gen for the full set).
+//   - A single options-based simulation entry point: Run, with WithDegree,
+//     WithProtocol, WithSchedule, WithMaxRounds, WithSeed/WithRand,
+//     WithObserver and WithSources.
 //   - The paper's centralized O(ln n/ln d + ln d) broadcast schedule
-//     (Theorem 5): BuildSchedule / ExecuteSchedule.
+//     (Theorem 5): BuildSchedule, replayed via Run + WithSchedule.
 //   - The paper's distributed randomized O(ln n) protocol (Theorem 7):
-//     NewProtocol / Broadcast, plus RunProtocol for custom protocols.
+//     the Run default, sized by WithDegree; NewProtocol for custom use.
+//   - Round-level observability: attach Counters, a JSONLWriter, a
+//     FrontierProfile or any custom Observer via WithObserver or
+//     Engine.Attach (see observability.go).
 //   - The theoretical bounds the measurements are compared against:
 //     CentralizedBound, DistributedBound.
 //
 // # Quickstart
 //
-//	rng := repro.NewRand(1)
-//	g := repro.GnpDegree(100_000, 25, rng)       // G(n,p) with E[deg] = 25
-//	res := repro.Broadcast(g, 0, 25, rng)        // distributed protocol
+//	g := repro.GnpDegree(100_000, 25, repro.NewRand(1)) // G(n,p), E[deg] = 25
+//	res, _ := repro.Run(g, 0, repro.WithDegree(25))     // distributed protocol (Thm 7)
 //	fmt.Println(res.Completed, res.Rounds)
 //
-//	sched, err := repro.BuildSchedule(g, 0, 25, 1) // centralized (Thm 5)
+//	sched, err := repro.BuildSchedule(g, 0, 25, 1)      // centralized (Thm 5)
 //	if err != nil { ... }
-//	res, err = repro.ExecuteSchedule(g, 0, sched)
+//	res, err = repro.Run(g, 0, repro.WithSchedule(sched))
+//
+// To watch the per-round dynamics, attach an observer:
+//
+//	var c repro.Counters
+//	res, _ = repro.Run(g, 0, repro.WithDegree(25), repro.WithSeed(7),
+//		repro.WithObserver(&c))
+//	fmt.Println(c.Collisions, c.Silent)
+//
+// The pre-options positional entry points (Broadcast, RunProtocol,
+// ExecuteSchedule, BroadcastTime) remain as thin wrappers over Run and
+// produce bit-for-bit identical results for the same randomness.
 //
 // The runnable examples under examples/ exercise these entry points on the
 // scenarios from the paper's motivation; cmd/experiments regenerates every
@@ -115,8 +131,11 @@ func BuildSchedule(g *Graph, src int32, d float64, seed uint64) (*Schedule, erro
 
 // ExecuteSchedule replays a schedule on g from src under the strict radio
 // model and returns the result.
+//
+// Deprecated: use Run(g, src, WithSchedule(s)); ExecuteSchedule is its
+// positional form and behaves identically.
 func ExecuteSchedule(g *Graph, src int32, s *Schedule) (Result, error) {
-	return radio.ExecuteSchedule(g, src, s, radio.StrictInformed)
+	return Run(g, src, WithSchedule(s))
 }
 
 // NewProtocol returns the paper's distributed randomized protocol
@@ -128,14 +147,22 @@ func NewProtocol(n int, d float64) Protocol {
 
 // Broadcast runs the paper's distributed protocol on g from src with a
 // generous round budget and returns the result.
+//
+// Deprecated: use Run(g, src, WithDegree(d), WithRand(rng)); Broadcast is
+// its positional form and produces bit-for-bit identical results.
 func Broadcast(g *Graph, src int32, d float64, rng *Rand) Result {
-	return core.RunDistributed(g, src, d, rng)
+	res, _ := Run(g, src, WithDegree(d), WithRand(rng)) // cannot fail: no schedule
+	return res
 }
 
 // RunProtocol simulates an arbitrary distributed protocol for at most
 // maxRounds rounds.
+//
+// Deprecated: use Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds),
+// WithRand(rng)); RunProtocol is its positional form.
 func RunProtocol(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) Result {
-	return radio.RunProtocol(g, src, p, maxRounds, rng)
+	res, _ := Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds), WithRand(rng))
+	return res
 }
 
 // BroadcastTime runs p and returns the completion round, or maxRounds+1
