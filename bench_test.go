@@ -167,6 +167,55 @@ func BenchmarkBroadcastReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkBroadcastReusePerNode is BenchmarkBroadcastReuse with the
+// sampled-transmitter fast path disabled (SetPerNodeSampling): the engine
+// asks the protocol for one Bernoulli decision per informed node per round
+// — the pre-fast-path behaviour the deprecated wrappers keep. The ratio
+// BroadcastReusePerNode / BroadcastReuse is the fast-path speedup recorded
+// in BENCH_2.json.
+func BenchmarkBroadcastReusePerNode(b *testing.B) {
+	rng := NewRand(13)
+	const n = 100000
+	const d = 25.0
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	e := NewEngine(g, 0)
+	e.SetPerNodeSampling(true)
+	p := NewProtocol(n, d)
+	budget := MaxRounds(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if BroadcastTimeOn(e, p, budget, rng) > budget {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkGossipPhased measures one phased gossip run (sampled fast path:
+// Uniform/Phased declare uniform rounds); n is small because gossip state
+// is n²/8 bytes.
+func BenchmarkGossipPhased(b *testing.B) {
+	rng := NewRand(14)
+	const n = 2000
+	d := 2 * math.Log(n)
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	p := NewPhasedGossip(n, d)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := GossipWith(g, p, 100000, rng)
+		if !res.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
 // BenchmarkBroadcastReuseObserved is BenchmarkBroadcastReuse with a
 // Counters observer attached — the observer-layer overhead guard. The
 // per-round cost of observation is one RoundRecord (a stack value) and one

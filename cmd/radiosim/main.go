@@ -5,10 +5,16 @@
 //
 //	radiosim [-n N] [-d D] [-algo distributed|centralized|decay|aloha]
 //	         [-src V] [-seed S] [-trace] [-trace-out FILE]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // -trace prints the per-round records; -trace-out streams them as JSON
 // Lines (one begin record, one record per round, one end record) to FILE
-// for offline analysis.
+// for offline analysis. -cpuprofile and -memprofile write pprof profiles
+// covering the simulation (graph sampling through completion), for
+// hot-path work on the engine:
+//
+//	radiosim -n 100000 -d 25 -cpuprofile cpu.out
+//	go tool pprof -top cpu.out
 //
 // Example:
 //
@@ -19,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -39,7 +47,38 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print per-round informed counts")
 	traceOut := flag.String("trace-out", "", "write per-round records as JSON Lines to this file")
 	saveSched := flag.String("save-schedule", "", "write the centralized schedule to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the heap snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	rng := xrand.New(*seed)
 	fmt.Printf("sampling connected G(n=%d, p=d/n) with d=%.1f ...\n", *n, *d)

@@ -1,0 +1,65 @@
+package repro
+
+// Regression guard for the sampled-transmitter fast path: the deprecated
+// positional entry points (Broadcast, RunProtocol, BroadcastMulti) are
+// frozen to their historical per-node randomness streams. The golden
+// values below were recorded BEFORE the fast path landed (commit
+// b0c4f2c); if any of these assertions fails, a wrapper's stream drifted.
+
+import (
+	"hash/fnv"
+	"testing"
+)
+
+// fingerprint folds a Result into a stable uint64: rounds, counters and
+// the full per-node InformedAt vector all contribute, so any bit-level
+// divergence in the simulation shows up here.
+func fingerprint(res Result) uint64 {
+	h := fnv.New64a()
+	put := func(x int) {
+		var b [8]byte
+		v := uint64(int64(x))
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(res.Rounds)
+	put(res.Informed)
+	put(res.Stats.Transmissions)
+	put(res.Stats.Deliveries)
+	put(res.Stats.Collisions)
+	put(res.Stats.NewlyInformed)
+	for _, at := range res.InformedAt {
+		put(int(at))
+	}
+	return h.Sum64()
+}
+
+func TestDeprecatedWrapperStreamsFrozen(t *testing.T) {
+	const n = 2000
+	const d = 25.0
+	g := testGraph(t, n, d, 1)
+
+	for _, tc := range []struct {
+		name string
+		seed uint64
+		want uint64 // recorded pre-fast-path fingerprint
+		run  func(seed uint64) Result
+	}{
+		{"Broadcast/seed3", 3, 13442191628768536704, func(s uint64) Result { return Broadcast(g, 0, d, NewRand(s)) }},
+		{"Broadcast/seed9", 9, 17540272938987344624, func(s uint64) Result { return Broadcast(g, 0, d, NewRand(s)) }},
+		{"RunProtocol/seed5", 5, 16578885538056467629, func(s uint64) Result {
+			return RunProtocol(g, 0, NewProtocol(n, d), MaxRounds(n), NewRand(s))
+		}},
+		{"BroadcastMulti/seed7", 7, 17027192350006751548, func(s uint64) Result {
+			return BroadcastMulti(g, []int32{0, 41, 97}, d, NewRand(s))
+		}},
+	} {
+		got := fingerprint(tc.run(tc.seed))
+		t.Logf("GOLDEN %s: %d", tc.name, got)
+		if tc.want != 0 && got != tc.want {
+			t.Errorf("%s: fingerprint %d, frozen golden %d — the deprecated wrapper's randomness stream changed", tc.name, got, tc.want)
+		}
+	}
+}

@@ -64,13 +64,14 @@ func Crash(g *Graph, src int32, q float64, rng *Rand) *CrashScenario {
 // per-round trace.
 //
 // Deprecated: use Run(g, sources[0], WithSources(sources[1:]...),
-// WithDegree(d), WithRand(rng)); BroadcastMulti is its positional form.
+// WithDegree(d), WithRand(rng)); BroadcastMulti is its positional form
+// and, like Broadcast, keeps the historical per-node randomness stream.
 func BroadcastMulti(g *Graph, sources []int32, d float64, rng *Rand, obs ...Observer) Result {
 	if len(sources) == 0 {
 		panic("repro: BroadcastMulti needs at least one source")
 	}
 	res, _ := Run(g, sources[0], WithSources(sources[1:]...), WithDegree(d),
-		WithRand(rng), WithObserver(MultiObserver(obs...)))
+		WithRand(rng), WithObserver(MultiObserver(obs...)), WithPerNodeSampling())
 	return res
 }
 

@@ -131,6 +131,11 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 
 	e := radio.NewEngine(g, src, radio.StrictInformed)
 	sched := &radio.Schedule{}
+	// Builder-owned scratch, allocated O(n) once and reused by every cover
+	// round: mark is epoch-stamped (mark[v] == epoch means "v is in the
+	// current candidate set"), so clearing it between rounds is a counter
+	// increment instead of a map allocation.
+	sc := &coverScratch{mark: make([]int32, n)}
 	emit := func(set []int32, phase *int) error {
 		owned := make([]int32, len(set))
 		copy(owned, set)
@@ -186,7 +191,8 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 			// inputs). Fall back to transmitting the deepest informed
 			// frontier until T_{D*} is seeded.
 			for !e.Done() {
-				frontier := deepestInformedFrontier(e, dist)
+				sc.frontier = deepestInformedFrontier(e, dist, sc.frontier[:0])
+				frontier := sc.frontier
 				if len(frontier) == 0 {
 					return nil, trace, fmt.Errorf("core: stalled before kick-off (%s)", trace)
 				}
@@ -240,10 +246,11 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 				pool = append(pool, int32(v))
 			}
 		}
-		set := rng.SubsetEach(nil, pool, cfg.Selectivity)
+		set := rng.SubsetEach(sc.set[:0], pool, cfg.Selectivity)
 		if len(set) == 0 && len(pool) > 0 {
 			set = append(set, pool[rng.Intn(len(pool))])
 		}
+		sc.set = set
 		for _, v := range set {
 			used[v] = true
 		}
@@ -256,20 +263,20 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 	if cfg.CoverFinish {
 		// Phase 4: uninformed nodes in the giant region (distance >= dStar).
 		if err := coverUntilInformed(e, emit, &trace.CoverRounds,
-			func(v int32) bool { return dist[v] >= int32(dStar) }, rng); err != nil {
+			func(v int32) bool { return dist[v] >= int32(dStar) }, rng, sc); err != nil {
 			return nil, trace, err
 		}
 		// Phase 5: backward sweep over the small layers, descending.
 		for i := dStar - 1; i >= 1 && !e.Done(); i-- {
 			di := int32(i)
 			if err := coverUntilInformed(e, emit, &trace.BackwardRounds,
-				func(v int32) bool { return dist[v] == di }, rng); err != nil {
+				func(v int32) bool { return dist[v] == di }, rng, sc); err != nil {
 				return nil, trace, err
 			}
 		}
 		// Safety: anything still uninformed (shouldn't happen).
 		if err := coverUntilInformed(e, emit, &trace.BackwardRounds,
-			func(v int32) bool { return true }, rng); err != nil {
+			func(v int32) bool { return true }, rng, sc); err != nil {
 			return nil, trace, err
 		}
 	} else {
@@ -281,10 +288,11 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 					pool = append(pool, int32(v))
 				}
 			}
-			set := rng.SubsetEach(nil, pool, cfg.Selectivity)
+			set := rng.SubsetEach(sc.set[:0], pool, cfg.Selectivity)
 			if len(set) == 0 {
 				set = append(set, pool[rng.Intn(len(pool))])
 			}
+			sc.set = set
 			if err := emit(set, &trace.SelectiveRounds); err != nil {
 				return nil, trace, err
 			}
@@ -298,18 +306,35 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 	return sched, trace, nil
 }
 
+// coverScratch is the schedule builder's reusable working memory: one O(n)
+// allocation up front instead of per-round maps and slices. mark doubles as
+// the candidate-membership set — mark[v] == epoch means v is a candidate of
+// the current cover round — so "clearing" it is epoch++ (O(1)), and
+// coverSampleRate can test membership without building its own set.
+type coverScratch struct {
+	mark     []int32
+	epoch    int32
+	targets  []int32
+	cands    []int32
+	set      []int32
+	frontier []int32
+}
+
 // deepestInformedFrontier returns the informed vertices at the maximum
-// distance among informed vertices.
-func deepestInformedFrontier(e *radio.Engine, dist []int32) []int32 {
+// distance among informed vertices, appended to buf (single O(n) pass, no
+// allocation once buf has capacity).
+func deepestInformedFrontier(e *radio.Engine, dist []int32, buf []int32) []int32 {
 	maxD := int32(-1)
+	out := buf
 	for v := range dist {
-		if e.Informed(int32(v)) && dist[v] > maxD {
-			maxD = dist[v]
+		if !e.Informed(int32(v)) {
+			continue
 		}
-	}
-	var out []int32
-	for v := range dist {
-		if dist[v] == maxD && e.Informed(int32(v)) {
+		if dist[v] > maxD {
+			maxD = dist[v]
+			out = out[:0]
+		}
+		if dist[v] == maxD {
 			out = append(out, int32(v))
 		}
 	}
@@ -321,36 +346,41 @@ func deepestInformedFrontier(e *radio.Engine, dist []int32) []int32 {
 // independent cover of the remaining targets built from their informed
 // neighbours, so every target with at least one informed neighbour is
 // guaranteed progress; targets with no informed neighbour yet are retried
-// after the rest of the graph advances.
+// after the rest of the graph advances. All working memory lives in sc;
+// steady-state rounds allocate nothing. The candidate list is built in
+// target order, first-seen order preserved, so the rng draws (and hence the
+// schedule) are identical to the earlier map-based implementation.
 func coverUntilInformed(e *radio.Engine, emit func([]int32, *int) error, counter *int,
-	want func(int32) bool, rng *xrand.Rand) error {
+	want func(int32) bool, rng *xrand.Rand, sc *coverScratch) error {
 	g := e.Graph()
 	n := g.N()
 	for {
-		var targets []int32
+		targets := sc.targets[:0]
 		for v := 0; v < n; v++ {
 			if !e.Informed(int32(v)) && want(int32(v)) {
 				targets = append(targets, int32(v))
 			}
 		}
+		sc.targets = targets
 		if len(targets) == 0 {
 			return nil
 		}
 		// Candidate transmitters: informed neighbours of the targets.
-		candSet := make(map[int32]bool)
-		var cands []int32
+		sc.epoch++
+		cands := sc.cands[:0]
 		reachable := false
 		for _, y := range targets {
 			for _, x := range g.Neighbors(y) {
-				if e.Informed(x) && !candSet[x] {
-					candSet[x] = true
-					cands = append(cands, x)
-				}
 				if e.Informed(x) {
 					reachable = true
+					if sc.mark[x] != sc.epoch {
+						sc.mark[x] = sc.epoch
+						cands = append(cands, x)
+					}
 				}
 			}
 		}
+		sc.cands = cands
 		if !reachable {
 			// No informed neighbour anywhere: the caller's phase ordering
 			// guarantees this cannot persist; make progress elsewhere by
@@ -363,11 +393,12 @@ func coverUntilInformed(e *radio.Engine, emit func([]int32, *int) error, counter
 		// reserved for small tails.
 		var set []int32
 		if len(targets) > 64 {
-			q := coverSampleRate(g, cands, targets)
-			set = rng.SubsetEach(nil, cands, q)
+			q := coverSampleRate(g, targets, sc)
+			set = rng.SubsetEach(sc.set[:0], cands, q)
 			if len(set) == 0 {
 				set = append(set, cands[rng.Intn(len(cands))])
 			}
+			sc.set = set
 		} else {
 			c := structure.GreedyIndependentCover(g, cands, targets)
 			set = c.Transmitters
@@ -386,16 +417,13 @@ func coverUntilInformed(e *radio.Engine, emit func([]int32, *int) error, counter
 
 // coverSampleRate estimates a good Bernoulli rate for a randomized cover:
 // 1 over the mean number of candidate-neighbours per target, clamped to
-// (0, 1].
-func coverSampleRate(g *graph.Graph, cands, targets []int32) float64 {
-	inC := make(map[int32]bool, len(cands))
-	for _, v := range cands {
-		inC[v] = true
-	}
+// (0, 1]. Candidate membership is read from sc.mark (stamped by the
+// caller's candidate pass), so no set is built here.
+func coverSampleRate(g *graph.Graph, targets []int32, sc *coverScratch) float64 {
 	totalDeg := 0
 	for _, y := range targets {
 		for _, x := range g.Neighbors(y) {
-			if inC[x] {
+			if sc.mark[x] == sc.epoch {
 				totalDeg++
 			}
 		}

@@ -339,7 +339,7 @@ func TestDeepestInformedFrontier(t *testing.T) {
 		t.Fatal(err)
 	}
 	dist := graph.Distances(g, 0)
-	frontier := deepestInformedFrontier(e, dist)
+	frontier := deepestInformedFrontier(e, dist, nil)
 	if len(frontier) != 1 || frontier[0] != 2 {
 		t.Fatalf("frontier = %v, want [2]", frontier)
 	}

@@ -114,6 +114,27 @@ func (p *DistributedProtocol) Transmit(v int32, round int, informedAt int32, rng
 	}
 }
 
+// RoundProb implements radio.UniformProtocol: every round of the protocol
+// is uniform — flooding (q = 1), the kick-off round (q = KickProb) and
+// the selective rounds (q = Selectivity), with the eligible cohort
+// restricted to the phase-one informed pool under RestrictPool. The
+// engine therefore simulates the protocol with one binomial draw per
+// round instead of one Bernoulli per informed node; the per-round
+// transmitter distribution is exactly that of Transmit.
+func (p *DistributedProtocol) RoundProb(round int) (q float64, cohort radio.Cohort, ok bool) {
+	switch {
+	case round <= p.D1:
+		return 1, radio.AllInformed, true
+	case round == p.D1+1:
+		return p.KickProb, radio.AllInformed, true
+	default:
+		if p.RestrictPool && !(p.SafetyRound > 0 && round >= p.SafetyRound) {
+			return p.Selectivity, radio.InformedBy(p.PoolCutoff), true
+		}
+		return p.Selectivity, radio.AllInformed, true
+	}
+}
+
 // MaxRoundsFor returns a generous simulation budget for the distributed
 // protocol on n nodes: well beyond the Θ(ln n) completion bound, so an
 // incomplete run signals a real protocol failure rather than a tight cap.

@@ -47,6 +47,22 @@ func (f ProtocolFunc) Transmit(v int32, round int, rng *xrand.Rand) bool {
 	return f(v, round, rng)
 }
 
+// UniformProtocol is an optional capability of Protocol, mirroring
+// radio.UniformProtocol: a protocol implements it to declare that in some
+// rounds every node transmits independently with the same probability q
+// (in gossiping every node holds a rumor, so all n nodes are always
+// eligible). For such rounds Run draws k ~ Binomial(n, q) transmitters by
+// partial Fisher–Yates in O(k) instead of flipping n coins — the same
+// distribution over transmitter sets through a different (much shorter)
+// randomness stream, so individual runs at a fixed seed changed when this
+// fast path landed while their distributions did not.
+type UniformProtocol interface {
+	Protocol
+	// RoundProb reports whether the round is uniform with probability q;
+	// ok = false falls back to per-node Transmit calls for that round.
+	RoundProb(round int) (q float64, ok bool)
+}
+
 // RoundRobin is the collision-free deterministic baseline.
 type RoundRobin struct{ N int }
 
@@ -63,6 +79,9 @@ func (u Uniform) Transmit(v int32, round int, rng *xrand.Rand) bool {
 	return rng.Bernoulli(u.Q)
 }
 
+// RoundProb implements UniformProtocol: every round is uniform at Q.
+func (u Uniform) RoundProb(round int) (float64, bool) { return u.Q, true }
+
 // Phased floods for FloodRounds rounds and then behaves like Uniform(Q) —
 // the gossiping analogue of the paper's distributed broadcast protocol.
 type Phased struct {
@@ -76,6 +95,15 @@ func (p Phased) Transmit(v int32, round int, rng *xrand.Rand) bool {
 		return true
 	}
 	return rng.Bernoulli(p.Q)
+}
+
+// RoundProb implements UniformProtocol: flood rounds are uniform at 1,
+// later rounds at Q.
+func (p Phased) RoundProb(round int) (float64, bool) {
+	if round <= p.FloodRounds {
+		return 1, true
+	}
+	return p.Q, true
 }
 
 // NewPhased returns the Phased protocol sized for a graph with n nodes and
@@ -109,6 +137,12 @@ type Result struct {
 // rounds. Every node starts knowing exactly its own rumor. Rumor sets are
 // merged on every clean reception.
 //
+// When p implements UniformProtocol (the stock Uniform and Phased
+// protocols do), uniform rounds draw their transmitter set by binomial
+// sampling instead of n per-node coin flips; wrap the protocol in a
+// ProtocolFunc to force the per-node path (same distribution, the
+// pre-fast-path randomness stream).
+//
 // Memory is one n-bit set per node (n²/8 bytes total): n = 16384 needs
 // 32 MiB. Completion requires g to be connected.
 func Run(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand) Result {
@@ -137,21 +171,55 @@ func RunObserved(g *graph.Graph, p Protocol, maxRounds int, rng *xrand.Rand, obs
 	if obs != nil {
 		obs.BeginRun(trace.RunInfo{N: n, M: g.M(), Sources: n, MaxRounds: maxRounds})
 	}
-	tx := make([]int32, 0, n)
+	txBuf := make([]int32, 0, n)
 	transmitting := make([]bool, n)
 	hits := make([]int32, n)
 	from := make([]int32, n) // sole transmitting neighbour per receiver
 	var touched []int32
+	// Sampled-transmitter fast path: for protocols declaring uniform
+	// rounds, elig holds all n nodes (every node owns a rumor and may
+	// transmit) and each uniform round takes a Binomial(n, q) prefix of a
+	// partial Fisher–Yates over it — O(k) instead of n Bernoulli draws.
+	up, _ := p.(UniformProtocol)
+	var elig []int32
+	if up != nil {
+		elig = make([]int32, n)
+		for i := range elig {
+			elig[i] = int32(i)
+		}
+	}
 	round := 0
 	var totals trace.Counters
 	for round < maxRounds && complete < n {
 		round++
-		tx = tx[:0]
-		for v := 0; v < n; v++ {
-			if p.Transmit(int32(v), round, rng) {
-				tx = append(tx, int32(v))
-				transmitting[v] = true
+		var tx []int32
+		sampled := false
+		if up != nil {
+			if q, ok := up.RoundProb(round); ok {
+				sampled = true
+				switch {
+				case q >= 1:
+					tx = elig
+				case q <= 0:
+					tx = elig[:0]
+				default:
+					k := rng.Binomial(n, q)
+					rng.PartialShuffle(elig, k)
+					tx = elig[:k]
+				}
 			}
+		}
+		if !sampled {
+			tx = txBuf[:0]
+			for v := 0; v < n; v++ {
+				if p.Transmit(int32(v), round, rng) {
+					tx = append(tx, int32(v))
+				}
+			}
+			txBuf = tx
+		}
+		for _, v := range tx {
+			transmitting[v] = true
 		}
 		for _, v := range tx {
 			for _, w := range g.Neighbors(v) {

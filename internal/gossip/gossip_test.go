@@ -2,6 +2,7 @@ package gossip
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"repro/internal/gen"
@@ -303,5 +304,76 @@ func TestRunObservedRecords(t *testing.T) {
 	}
 	if rec.Summary.Rounds != res.Rounds || rec.Summary.Completed != res.Completed {
 		t.Fatalf("summary %+v vs result %+v", rec.Summary, res)
+	}
+}
+
+// TestGossipDeterministic is the map-iteration audit regression: two runs
+// with identical seeds must produce identical results AND identical
+// per-round traces, for every stock protocol. The know-sets are index-
+// ordered []*bitset.Set (no map iteration anywhere in the loop), so any
+// future nondeterminism sneaking in — a map-ordered transmitter list, a
+// rng consumed conditionally on map order — trips this test.
+func TestGossipDeterministic(t *testing.T) {
+	const n = 200
+	d := 2 * math.Log(n)
+	g := connected(t, n, d, 11)
+	protocols := map[string]Protocol{
+		"round-robin": RoundRobin{N: n},  // deterministic per-node path
+		"uniform":     Uniform{Q: 1 / d}, // sampled fast path
+		"phased":      NewPhased(n, d),   // sampled fast path, two regimes
+		"per-node": ProtocolFunc(func(v int32, round int, rng *xrand.Rand) bool {
+			return rng.Bernoulli(1 / d) // forced per-node path
+		}),
+	}
+	for name, p := range protocols {
+		var r1, r2 trace.Recorder
+		a := RunObserved(g, p, 5000, xrand.New(42), &r1)
+		b := RunObserved(g, p, 5000, xrand.New(42), &r2)
+		if a != b {
+			t.Fatalf("%s: results differ across identical runs:\n%+v\n%+v", name, a, b)
+		}
+		if len(r1.Records) != len(r2.Records) {
+			t.Fatalf("%s: trace lengths differ: %d vs %d", name, len(r1.Records), len(r2.Records))
+		}
+		for i := range r1.Records {
+			if r1.Records[i] != r2.Records[i] {
+				t.Fatalf("%s: round %d records differ:\n%+v\n%+v", name, i+1, r1.Records[i], r2.Records[i])
+			}
+		}
+		if !a.Completed {
+			t.Fatalf("%s: gossip incomplete (determinism check vacuous)", name)
+		}
+	}
+}
+
+// TestGossipSampledMatchesPerNodeDistribution: the sampled fast path must
+// complete in a similar number of rounds as the per-node path — a coarse
+// distributional check (the exact per-seed values differ by design; the
+// medians must not).
+func TestGossipSampledMatchesPerNodeDistribution(t *testing.T) {
+	const n = 150
+	d := 2 * math.Log(n)
+	g := connected(t, n, d, 13)
+	const trials = 31
+	sampled := make([]int, trials)
+	perNode := make([]int, trials)
+	p := NewPhased(n, d)
+	forced := ProtocolFunc(p.Transmit) // hides RoundProb: per-node path
+	for i := 0; i < trials; i++ {
+		sampled[i] = Time(g, p, 100000, xrand.New(uint64(1000+i)))
+		perNode[i] = Time(g, forced, 100000, xrand.New(uint64(2000+i)))
+	}
+	sort.Ints(sampled)
+	sort.Ints(perNode)
+	ms, mp := sampled[trials/2], perNode[trials/2]
+	if ms > 100000 || mp > 100000 {
+		t.Fatalf("incomplete runs: sampled median %d, per-node median %d", ms, mp)
+	}
+	// Medians of the same distribution over 31 trials: allow a wide
+	// tolerance; catching a wrong-by-construction sampler (e.g. double
+	// sampling, wrong cohort) is the point, not statistical power.
+	lo, hi := mp/2, mp*2
+	if ms < lo || ms > hi {
+		t.Fatalf("sampled median %d outside [%d, %d] around per-node median %d", ms, lo, hi, mp)
 	}
 }

@@ -106,7 +106,8 @@ func Run(g *graph.Graph, src int32, k int, p Protocol, sel Selection, maxRounds 
 	from := make([]int32, n)
 	var touched []int32
 	var tx []int32
-	carrying := make([]int32, n) // message carried by transmitter v this round
+	carrying := make([]int32, n)    // message carried by transmitter v this round
+	transmitting := make([]bool, n) // tx membership, cleared after each round
 
 	globalKnown := make([]int, k)
 	copy(globalKnown, completeCount)
@@ -127,9 +128,8 @@ func Run(g *graph.Graph, src int32, k int, p Protocol, sel Selection, maxRounds 
 		for _, v := range tx {
 			carrying[v] = chooseMessage(know[v], counts[v], k, int(v), round, sel, globalKnown, rng)
 		}
-		inTx := make(map[int32]bool, len(tx))
 		for _, v := range tx {
-			inTx[v] = true
+			transmitting[v] = true
 		}
 		for _, v := range tx {
 			for _, w := range g.Neighbors(v) {
@@ -141,7 +141,7 @@ func Run(g *graph.Graph, src int32, k int, p Protocol, sel Selection, maxRounds 
 			}
 		}
 		for _, w := range touched {
-			if hits[w] == 1 && !inTx[w] {
+			if hits[w] == 1 && !transmitting[w] {
 				m := carrying[from[w]]
 				if !know[w].Test(int(m)) {
 					know[w].Set(int(m))
@@ -161,6 +161,9 @@ func Run(g *graph.Graph, src int32, k int, p Protocol, sel Selection, maxRounds 
 			hits[w] = 0
 		}
 		touched = touched[:0]
+		for _, v := range tx {
+			transmitting[v] = false
+		}
 	}
 	res.Completed = done == k
 	res.Rounds = round

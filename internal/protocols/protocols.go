@@ -46,6 +46,13 @@ func (d *Decay) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) 
 	return rng.Bernoulli(math.Pow(2, -float64(k)))
 }
 
+// RoundProb implements radio.UniformProtocol: every Decay round is
+// uniform over all informed nodes with the epoch-position rate 2^{-k}.
+func (d *Decay) RoundProb(round int) (float64, radio.Cohort, bool) {
+	k := (round - 1) % d.Phases
+	return math.Pow(2, -float64(k)), radio.AllInformed, true
+}
+
 // Aloha transmits with a fixed probability P every round.
 type Aloha struct {
 	P float64
@@ -66,12 +73,25 @@ func (a *Aloha) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) 
 	return rng.Bernoulli(a.P)
 }
 
+// RoundProb implements radio.UniformProtocol: every ALOHA round is
+// uniform over all informed nodes at the fixed rate P.
+func (a *Aloha) RoundProb(round int) (float64, radio.Cohort, bool) {
+	return a.P, radio.AllInformed, true
+}
+
 // Flood transmits deterministically every round.
 type Flood struct{}
 
 // Transmit implements radio.Protocol.
 func (Flood) Transmit(v int32, round int, informedAt int32, rng *xrand.Rand) bool {
 	return true
+}
+
+// RoundProb implements radio.UniformProtocol with q = 1: the sampled
+// path selects every informed node, exactly the deterministic flood, and
+// consumes no randomness on either path.
+func (Flood) RoundProb(round int) (float64, radio.Cohort, bool) {
+	return 1, radio.AllInformed, true
 }
 
 // RoundRobin gives each node a private slot: node v transmits in rounds
@@ -86,10 +106,13 @@ func (rr *RoundRobin) Transmit(v int32, round int, informedAt int32, rng *xrand.
 	return int32((round-1)%rr.N) == v
 }
 
-// Compile-time interface checks.
+// Compile-time interface checks. Decay, Aloha and Flood declare uniform
+// rounds (radio.UniformProtocol), so protocol runners sample their
+// transmitter sets in O(k); RoundRobin's rounds are ID-dependent and
+// stay on the per-node path.
 var (
-	_ radio.Protocol = (*Decay)(nil)
-	_ radio.Protocol = (*Aloha)(nil)
-	_ radio.Protocol = Flood{}
-	_ radio.Protocol = (*RoundRobin)(nil)
+	_ radio.UniformProtocol = (*Decay)(nil)
+	_ radio.UniformProtocol = (*Aloha)(nil)
+	_ radio.UniformProtocol = Flood{}
+	_ radio.Protocol        = (*RoundRobin)(nil)
 )

@@ -73,10 +73,14 @@ type Engine struct {
 	informed []bool
 	// informedAt[v] is the round in which v was informed (0 for the
 	// source), or NotInformed.
-	informedAt   []int32
-	numInformed  int
-	hits         []int32 // transmitting-neighbour count this round
-	touched      []int32 // vertices with nonzero hits, for O(deg) reset
+	informedAt  []int32
+	numInformed int
+	// hits counts transmitting neighbours this round, saturating at 2:
+	// delivery classification only distinguishes 0 / exactly 1 / >=2, and a
+	// byte array keeps the randomly-accessed working set 4x smaller than
+	// int32 counters (the engine's round loop is memory-bound on it).
+	hits         []uint8
+	touched      []int32 // vertices with nonzero hits, for O(deg) reset (sparse rounds)
 	transmitting []bool
 	txList       []int32
 	round        int
@@ -89,6 +93,19 @@ type Engine struct {
 	obs       trace.Observer
 	newly     []int32 // scratch reused across rounds
 	txScratch []int32 // scratch transmit set for the protocol runners
+	// Sampled-transmitter fast path (see UniformProtocol). The protocol
+	// runner keeps incremental per-cohort eligible lists so a uniform round
+	// draws k ~ Binomial(|eligible|, q) transmitters in O(k) instead of
+	// scanning all n nodes and flipping one coin per informed node. The
+	// lists are rebuilt lazily at the start of each protocol run and
+	// appended from the newly-informed set after every round, so
+	// steady-state rounds allocate nothing.
+	perNode      bool    // opt-out: force per-node Transmit calls
+	eligAll      []int32 // every informed node, in informed order
+	eligAllOK    bool
+	eligCohort   []int32 // informed nodes with informedAt <= eligCutoff
+	eligCutoff   int32
+	eligCohortOK bool
 	// Scratch for RoundWithFeedback (allocated lazily).
 	cdHits    []int32
 	cdMark    []bool
@@ -109,7 +126,7 @@ func NewEngine(g *graph.Graph, src int32, policy TransmitterPolicy) *Engine {
 		policy:       policy,
 		informed:     make([]bool, n),
 		informedAt:   make([]int32, n),
-		hits:         make([]int32, n),
+		hits:         make([]uint8, n),
 		transmitting: make([]bool, n),
 	}
 	for i := range e.informedAt {
@@ -134,6 +151,9 @@ func (e *Engine) Reset() {
 	e.numInformed = 1
 	e.round = 0
 	e.counters.Reset()
+	// Eligible lists describe a run that is over; the next protocol run
+	// rebuilds them from the informed set.
+	e.eligAllOK, e.eligCohortOK = false, false
 	// Per-round scratch is empty after any completed or failed Round, but
 	// clear it anyway so Reset restores a pristine engine unconditionally.
 	for _, w := range e.touched {
@@ -271,33 +291,82 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 	}
 	e.round++
 
-	// Count transmitting neighbours of every node touched.
+	// The exact neighbour-visit count picks the classification strategy:
+	// dense rounds (visits >= n/2) skip the touched-list bookkeeping in the
+	// counting loop and classify by a cache-friendly linear scan over all
+	// nodes; sparse rounds keep the O(visits) touched list so tiny rounds
+	// never pay an O(n) pass. Both strategies produce identical informed
+	// sets and counters (the newly-informed list order differs — visit
+	// order vs index order — which no caller observes).
+	n := e.g.N()
+	visits := 0
 	for _, v := range e.txList {
-		for _, w := range e.g.Neighbors(v) {
-			if e.hits[w] == 0 {
-				e.touched = append(e.touched, w)
-			}
-			e.hits[w]++
-		}
+		visits += len(e.g.Neighbors(v))
 	}
-
-	// Deliveries: listening nodes with exactly one transmitting neighbour.
 	e.newly = e.newly[:0]
 	successes, collisions := 0, 0
-	for _, w := range e.touched {
-		if e.transmitting[w] {
-			continue // transmitting node does not listen
-		}
-		if e.hits[w] == 1 {
-			successes++
-			if !e.informed[w] {
-				e.informed[w] = true
-				e.informedAt[w] = int32(e.round)
-				e.numInformed++
-				e.newly = append(e.newly, w)
+	if 2*visits >= n {
+		hits := e.hits
+		for _, v := range e.txList {
+			for _, w := range e.g.Neighbors(v) {
+				if hits[w] < 2 {
+					hits[w]++
+				}
 			}
-		} else {
-			collisions++
+		}
+		// Transmitting nodes do not listen: zero their counters up front so
+		// the classify scan treats them as untouched and never needs to
+		// read the transmitting marks (one fewer byte stream per scan).
+		for _, v := range e.txList {
+			hits[v] = 0
+		}
+		informed := e.informed
+		for w, h := range hits {
+			if h == 0 {
+				continue
+			}
+			hits[w] = 0
+			if h == 1 {
+				successes++
+				if !informed[w] {
+					informed[w] = true
+					e.informedAt[w] = int32(e.round)
+					e.numInformed++
+					e.newly = append(e.newly, int32(w))
+				}
+			} else {
+				collisions++
+			}
+		}
+	} else {
+		// Count transmitting neighbours of every node touched.
+		for _, v := range e.txList {
+			for _, w := range e.g.Neighbors(v) {
+				if e.hits[w] == 0 {
+					e.touched = append(e.touched, w)
+				}
+				if e.hits[w] < 2 {
+					e.hits[w]++
+				}
+			}
+		}
+		// Deliveries: listening nodes with exactly one transmitting
+		// neighbour.
+		for _, w := range e.touched {
+			if e.transmitting[w] {
+				continue // transmitting node does not listen
+			}
+			if e.hits[w] == 1 {
+				successes++
+				if !e.informed[w] {
+					e.informed[w] = true
+					e.informedAt[w] = int32(e.round)
+					e.numInformed++
+					e.newly = append(e.newly, w)
+				}
+			} else {
+				collisions++
+			}
 		}
 	}
 
@@ -457,29 +526,183 @@ func (f ProtocolFunc) Transmit(v int32, round int, informedAt int32, rng *xrand.
 	return f(v, round, informedAt, rng)
 }
 
+// Cohort selects which informed nodes are eligible to transmit in a
+// uniform round. The zero value (AllInformed) makes every informed node
+// eligible; InformedBy(c) restricts eligibility to nodes informed in
+// rounds <= c — the Theorem-7 restricted-pool reading, in which only the
+// phase-one informed set transmits during the selective phase.
+type Cohort struct {
+	cutoff     int32
+	restricted bool
+}
+
+// AllInformed is the cohort of every informed node.
+var AllInformed = Cohort{}
+
+// InformedBy returns the cohort of nodes informed in rounds <= cutoff.
+func InformedBy(cutoff int32) Cohort { return Cohort{cutoff: cutoff, restricted: true} }
+
+// Contains reports whether a node informed at round informedAt belongs to
+// the cohort. Uninformed nodes (informedAt == NotInformed) never do.
+func (c Cohort) Contains(informedAt int32) bool {
+	return informedAt != NotInformed && (!c.restricted || informedAt <= c.cutoff)
+}
+
+// UniformProtocol is an optional capability of a Protocol: a protocol
+// implements it to declare that in some rounds every eligible node
+// transmits independently with the SAME probability q. For such rounds
+// the engine's protocol runner skips the per-node Transmit calls and
+// instead draws the number of transmitters k ~ Binomial(|cohort|, q) and
+// selects k distinct cohort members by partial Fisher–Yates — O(k)
+// expected work per round instead of O(n) — which is distributionally
+// identical to n independent Bernoulli(q) decisions.
+//
+// The fast path consumes a different (much shorter) randomness stream
+// than per-node sampling, so individual runs differ bit-for-bit between
+// the two paths while their distributions agree; see DESIGN.md for which
+// entry points switched. Engine.SetPerNodeSampling(true) restores the
+// per-node path on a capability-implementing protocol.
+type UniformProtocol interface {
+	Protocol
+	// RoundProb reports whether the given round is uniform: every node of
+	// the cohort transmits with probability q, independently. ok = false
+	// makes the engine fall back to per-node Transmit calls for that
+	// round, so protocols may mix uniform and non-uniform rounds freely.
+	// The engine calls RoundProb at most once per round; it must be
+	// deterministic and consume no randomness.
+	RoundProb(round int) (q float64, cohort Cohort, ok bool)
+}
+
+// SetPerNodeSampling forces (on = true) the engine's protocol runners to
+// call Protocol.Transmit for every informed node each round even when the
+// protocol implements UniformProtocol — the pre-fast-path behaviour with
+// its historical randomness stream. The default (off) uses the sampled
+// fast path whenever the protocol declares uniform rounds. The setting
+// survives Reset/ResetFor, like an attached observer.
+func (e *Engine) SetPerNodeSampling(on bool) { e.perNode = on }
+
+// PerNodeSampling reports whether the sampled fast path is disabled.
+func (e *Engine) PerNodeSampling() bool { return e.perNode }
+
 // runProtocol drives the engine under the protocol until completion or the
 // round budget, reusing the engine's scratch transmit set so steady-state
-// rounds allocate nothing.
+// rounds allocate nothing. When p implements UniformProtocol (and per-node
+// sampling is not forced), uniform rounds draw their transmitter set by
+// binomial cohort sampling in O(k) instead of O(n).
 func (e *Engine) runProtocol(p Protocol, maxRounds int, rng *xrand.Rand) {
 	e.observeBegin(maxRounds)
 	defer e.observeEnd()
+	up, _ := p.(UniformProtocol)
+	if e.perNode {
+		up = nil
+	}
+	if up != nil {
+		// Rebuild the eligible lists lazily for this run's informed set
+		// (the engine may have been driven manually since the last reset).
+		e.eligAllOK, e.eligCohortOK = false, false
+	}
 	for e.round < maxRounds && !e.Done() {
-		tx := e.txScratch[:0]
 		round := e.round + 1
-		for v, inf := range e.informed {
-			if !inf {
-				continue
-			}
-			if p.Transmit(int32(v), round, e.informedAt[v], rng) {
-				tx = append(tx, int32(v))
+		var tx []int32
+		sampled := false
+		if up != nil {
+			if q, cohort, ok := up.RoundProb(round); ok {
+				tx = e.sampleTransmitters(q, cohort, rng)
+				sampled = true
 			}
 		}
-		e.txScratch = tx
-		if _, err := e.Round(tx); err != nil {
+		if !sampled {
+			tx = e.txScratch[:0]
+			for v, inf := range e.informed {
+				if !inf {
+					continue
+				}
+				if p.Transmit(int32(v), round, e.informedAt[v], rng) {
+					tx = append(tx, int32(v))
+				}
+			}
+			e.txScratch = tx
+		}
+		newly, err := e.Round(tx)
+		if err != nil {
 			// Cannot happen: we only offer informed nodes.
 			panic(err)
 		}
+		if up != nil {
+			e.appendEligible(newly)
+		}
 	}
+}
+
+// sampleTransmitters draws a uniform round's transmitter set: every node
+// of the cohort independently with probability q, realised as one
+// Binomial(|cohort|, q) draw plus a partial Fisher–Yates over the
+// engine-owned eligible list. The returned slice aliases that list and is
+// only valid until the next engine call.
+func (e *Engine) sampleTransmitters(q float64, cohort Cohort, rng *xrand.Rand) []int32 {
+	elig := e.eligible(cohort)
+	if q >= 1 {
+		return elig
+	}
+	if q <= 0 {
+		return elig[:0]
+	}
+	k := rng.Binomial(len(elig), q)
+	rng.PartialShuffle(elig, k)
+	return elig[:k]
+}
+
+// eligible returns the engine-owned list of cohort members, rebuilding it
+// from the informed set on first use (or when the requested cutoff
+// changes); appendEligible keeps it current afterwards. The list's order
+// is immaterial — sampleTransmitters permutes it in place — so each list
+// is maintained purely as a set.
+func (e *Engine) eligible(cohort Cohort) []int32 {
+	if !cohort.restricted {
+		if !e.eligAllOK {
+			e.eligAll = e.eligAll[:0]
+			for v, inf := range e.informed {
+				if inf {
+					e.eligAll = append(e.eligAll, int32(v))
+				}
+			}
+			e.eligAllOK = true
+		}
+		return e.eligAll
+	}
+	if !e.eligCohortOK || e.eligCutoff != cohort.cutoff {
+		e.eligCohort = e.eligCohort[:0]
+		for v, at := range e.informedAt {
+			if at != NotInformed && at <= cohort.cutoff {
+				e.eligCohort = append(e.eligCohort, int32(v))
+			}
+		}
+		e.eligCutoff = cohort.cutoff
+		e.eligCohortOK = true
+	}
+	return e.eligCohort
+}
+
+// appendEligible folds the nodes newly informed by the last round into
+// the maintained eligible lists (newly informed nodes have
+// informedAt == e.round).
+func (e *Engine) appendEligible(newly []int32) {
+	if e.eligAllOK {
+		e.eligAll = append(e.eligAll, newly...)
+	}
+	if e.eligCohortOK && int32(e.round) <= e.eligCutoff {
+		e.eligCohort = append(e.eligCohort, newly...)
+	}
+}
+
+// RunProtocol drives p on the engine's CURRENT state — no reset — until
+// completion or maxRounds rounds, and returns the result. Most callers
+// want the package-level RunProtocol or RunProtocolOn (which reset
+// first); the method exists for callers that prepared the engine
+// themselves (multi-source initial sets, per-node sampling opt-out).
+func (e *Engine) RunProtocol(p Protocol, maxRounds int, rng *xrand.Rand) Result {
+	e.runProtocol(p, maxRounds, rng)
+	return resultOf(e)
 }
 
 // RunProtocol simulates the distributed protocol for at most maxRounds

@@ -245,6 +245,27 @@ func (r *Rand) ShuffleInts(s []int) {
 	}
 }
 
+// PartialShuffle performs the first k steps of a Fisher–Yates shuffle on
+// s: after the call, s[:k] is a uniformly random k-subset of the original
+// elements of s (in uniformly random order) and s[k:] holds the rest. It
+// panics unless 0 <= k <= len(s).
+//
+// This is the distinct-k sampler of the sampled-transmitter fast path:
+// drawing k ~ Binomial(len(s), q) and taking s[:k] after PartialShuffle
+// is distributionally identical to retaining each element of s
+// independently with probability q, at O(k) cost instead of O(len(s)).
+// The caller owns the buffer, so repeated draws allocate nothing; s is
+// permuted in place but keeps exactly the same element set.
+func (r *Rand) PartialShuffle(s []int32, k int) {
+	if k < 0 || k > len(s) {
+		panic("xrand: PartialShuffle requires 0 <= k <= len(s)")
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(len(s)-i)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
 // Sample returns k distinct values drawn uniformly from [0, n) in random
 // order. It panics if k > n or k < 0. For k close to n it shuffles a full
 // permutation; for small k it uses a partial Fisher–Yates over a sparse map,

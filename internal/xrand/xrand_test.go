@@ -428,3 +428,61 @@ func BenchmarkGeometric(b *testing.B) {
 		_ = r.Geometric(0.001)
 	}
 }
+
+func TestPartialShuffleIsPermutation(t *testing.T) {
+	r := New(31)
+	const n = 100
+	for _, k := range []int{0, 1, 17, n / 2, n - 1, n} {
+		s := make([]int32, n)
+		for i := range s {
+			s[i] = int32(i)
+		}
+		r.PartialShuffle(s, k)
+		seen := make([]bool, n)
+		for _, v := range s {
+			if v < 0 || int(v) >= n || seen[v] {
+				t.Fatalf("k=%d: PartialShuffle broke the permutation at %d", k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPartialShuffleUniformMembership(t *testing.T) {
+	// Element e lands in the k-prefix with probability k/n; check the
+	// empirical frequency over many trials for a few elements.
+	r := New(57)
+	const n, k, trials = 20, 5, 20000
+	counts := make([]int, n)
+	s := make([]int32, n)
+	for trial := 0; trial < trials; trial++ {
+		for i := range s {
+			s[i] = int32(i)
+		}
+		r.PartialShuffle(s, k)
+		for _, v := range s[:k] {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * float64(k) / float64(n)
+	sd := math.Sqrt(float64(trials) * (float64(k) / n) * (1 - float64(k)/n))
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 5*sd {
+			t.Fatalf("element %d in prefix %d times, want ~%.0f (±%.0f)", v, c, want, 5*sd)
+		}
+	}
+}
+
+func TestPartialShufflePanics(t *testing.T) {
+	r := New(1)
+	for _, k := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("PartialShuffle(len 3, k=%d) did not panic", k)
+				}
+			}()
+			r.PartialShuffle(make([]int32, 3), k)
+		}()
+	}
+}

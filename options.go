@@ -30,6 +30,7 @@ type runConfig struct {
 	hasSeed   bool
 	obs       Observer
 	extraSrc  []int32
+	perNode   bool
 }
 
 // WithDegree sizes the paper's distributed protocol (Theorem 7) for
@@ -88,6 +89,19 @@ func WithSources(sources ...int32) Option {
 	return func(c *runConfig) { c.extraSrc = append(c.extraSrc, sources...) }
 }
 
+// WithPerNodeSampling disables the sampled-transmitter fast path: the
+// protocol loop asks the protocol for a per-node transmit decision for
+// every informed node each round, even when the protocol declares uniform
+// rounds (radio.UniformProtocol). By default Run uses the O(k) binomial
+// cohort sampling fast path whenever the protocol supports it — the same
+// transmitter-set distribution through a much shorter randomness stream.
+// Use this option to reproduce pre-fast-path runs bit-for-bit at a fixed
+// seed (the deprecated positional wrappers do), or to exercise a custom
+// protocol's Transmit method on every node.
+func WithPerNodeSampling() Option {
+	return func(c *runConfig) { c.perNode = true }
+}
+
 // Run simulates one broadcast of a message from src on g under the radio
 // model and returns the result. With no options it runs the paper's
 // distributed protocol (Theorem 7) sized for the graph's mean degree,
@@ -95,12 +109,21 @@ func WithSources(sources ...int32) Option {
 //
 //	res, err := repro.Run(g, 0, repro.WithDegree(25))
 //
-// is equivalent to repro.Broadcast(g, 0, 25, repro.NewRand(1)). Options
-// select the protocol or schedule, the round budget, the randomness and
-// an observer; see the With* functions. Run only returns an error for
-// invalid option combinations or a schedule that violates the radio model
-// (an uninformed transmitter); protocol runs cannot fail — an exhausted
-// round budget is reported via Result.Completed.
+// runs the same simulation as repro.Broadcast(g, 0, 25, repro.NewRand(1)).
+// Options select the protocol or schedule, the round budget, the
+// randomness and an observer; see the With* functions. Run only returns
+// an error for invalid option combinations or a schedule that violates
+// the radio model (an uninformed transmitter); protocol runs cannot fail
+// — an exhausted round budget is reported via Result.Completed.
+//
+// Protocols that declare uniform rounds (radio.UniformProtocol — the
+// paper's protocol does) are simulated through the sampled-transmitter
+// fast path: O(k) binomial cohort sampling per round instead of one coin
+// flip per informed node. The transmitter-set distribution is identical,
+// but the randomness stream is shorter, so runs at a fixed seed differ
+// bit-for-bit from the per-node path; pass WithPerNodeSampling() to
+// reproduce pre-fast-path runs exactly (the deprecated positional
+// wrappers do this, and so stay bit-for-bit stable).
 func Run(g *Graph, src int32, opts ...Option) (Result, error) {
 	var c runConfig
 	for _, o := range opts {
@@ -144,7 +167,12 @@ func Run(g *Graph, src int32, opts ...Option) (Result, error) {
 	if !c.hasMax {
 		maxRounds = core.MaxRoundsFor(g.N())
 	}
-	return radio.RunProtocolMultiObserved(g, sources, p, maxRounds, rng, c.obs), nil
+	e := radio.NewEngineMulti(g, sources, radio.StrictInformed)
+	e.Attach(c.obs)
+	if c.perNode {
+		e.SetPerNodeSampling(true)
+	}
+	return e.RunProtocol(p, maxRounds, rng), nil
 }
 
 // meanDegree returns 2m/n, the graph's empirical average degree (the

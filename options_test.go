@@ -16,15 +16,17 @@ func testGraph(t testing.TB, n int, d float64, seed uint64) *Graph {
 }
 
 // TestRunReproducesBroadcast is the facade acceptance check: the options
-// entry point must reproduce the positional one bit-for-bit on the same
-// seed.
+// entry point with WithPerNodeSampling must reproduce the positional one
+// bit-for-bit on the same seed (the deprecated wrappers are frozen to the
+// historical per-node randomness stream; plain Run uses the sampled fast
+// path, covered by TestRunSampledFastPath).
 func TestRunReproducesBroadcast(t *testing.T) {
 	const n = 2000
 	const d = 25.0
 	g := testGraph(t, n, d, 1)
 	for seed := uint64(1); seed <= 5; seed++ {
 		want := Broadcast(g, 0, d, NewRand(seed))
-		got, err := Run(g, 0, WithDegree(d), WithSeed(seed))
+		got, err := Run(g, 0, WithDegree(d), WithSeed(seed), WithPerNodeSampling())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -39,13 +41,52 @@ func TestRunReproducesBroadcast(t *testing.T) {
 		}
 	}
 	// Default seed is 1.
-	def, err := Run(g, 0, WithDegree(d))
+	def, err := Run(g, 0, WithDegree(d), WithPerNodeSampling())
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := Broadcast(g, 0, d, NewRand(1))
 	if def.Rounds != want.Rounds || def.Stats != want.Stats {
 		t.Fatalf("default-seed Run %+v != Broadcast(seed 1) %+v", def, want)
+	}
+}
+
+// TestRunSampledFastPath: plain Run takes the binomial-sampling fast path
+// for the paper's protocol; the run must complete and agree with the
+// per-node path on everything but the randomness stream.
+func TestRunSampledFastPath(t *testing.T) {
+	const n = 2000
+	const d = 25.0
+	g := testGraph(t, n, d, 1)
+	var c Counters
+	res, err := Run(g, 0, WithDegree(d), WithSeed(3), WithObserver(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("sampled run incomplete: %+v", res)
+	}
+	// Observer records have the same shape on both paths: the per-round
+	// outcome classes partition the node set.
+	if got := c.Transmissions + c.Successes + c.Collisions + c.Silent; got != c.Rounds*n {
+		t.Fatalf("tx+ok+col+silent = %d, want rounds*n = %d", got, c.Rounds*n)
+	}
+	if c.Rounds != res.Rounds || c.Informed != res.Informed {
+		t.Fatalf("counters (rounds=%d informed=%d) != result (%d, %d)", c.Rounds, c.Informed, res.Rounds, res.Informed)
+	}
+	// Same seed, same options, run again: the sampled path is
+	// deterministic.
+	again, err := Run(g, 0, WithDegree(d), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rounds != res.Rounds || again.Stats != res.Stats {
+		t.Fatalf("sampled run not deterministic: %+v vs %+v", again, res)
+	}
+	for i := range res.InformedAt {
+		if again.InformedAt[i] != res.InformedAt[i] {
+			t.Fatalf("InformedAt[%d] differs between identical sampled runs", i)
+		}
 	}
 }
 
@@ -117,9 +158,12 @@ func TestRunDefaultProtocolUsesMeanDegree(t *testing.T) {
 		t.Fatalf("default Run incomplete: %+v", res)
 	}
 	d := 2 * float64(g.M()) / float64(g.N())
-	want := Broadcast(g, 0, d, NewRand(1))
+	want, err := Run(g, 0, WithDegree(d))
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Rounds != want.Rounds || res.Stats != want.Stats {
-		t.Fatalf("default Run %+v != Broadcast(mean degree) %+v", res, want)
+		t.Fatalf("default Run %+v != Run(mean degree) %+v", res, want)
 	}
 }
 
@@ -156,7 +200,8 @@ func TestRunWithSourcesMatchesBroadcastMulti(t *testing.T) {
 	g := testGraph(t, n, d, 6)
 	sources := []int32{0, 17, 23}
 	want := BroadcastMulti(g, sources, d, NewRand(8))
-	got, err := Run(g, 0, WithSources(17, 23), WithDegree(d), WithRand(NewRand(8)))
+	got, err := Run(g, 0, WithSources(17, 23), WithDegree(d), WithRand(NewRand(8)),
+		WithPerNodeSampling())
 	if err != nil {
 		t.Fatal(err)
 	}

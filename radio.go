@@ -42,9 +42,27 @@
 //		repro.WithObserver(&c))
 //	fmt.Println(c.Collisions, c.Silent)
 //
-// The pre-options positional entry points (Broadcast, RunProtocol,
-// ExecuteSchedule, BroadcastTime) remain as thin wrappers over Run and
-// produce bit-for-bit identical results for the same randomness.
+// # Randomness streams and the sampled fast path
+//
+// Protocols whose rounds are uniform (every eligible node transmits with
+// the same probability q — the paper's Theorem 7 protocol, Decay, ALOHA)
+// declare that through the radio.UniformProtocol capability, and the
+// engine then draws the whole transmitter set at once: k ~ Binomial(m, q)
+// followed by a k-element partial shuffle of the m eligible nodes, O(k)
+// instead of one Bernoulli draw per informed node. The transmitter-set
+// distribution is identical, but the stream of rng draws is not, so
+// fixed-seed outputs differ between the two modes.
+//
+// Who uses which stream:
+//
+//   - Run (and RunProtocolOn, BroadcastTime, BroadcastTimeOn, the gossip
+//     runners) default to the sampled fast path; opt out per call with
+//     WithPerNodeSampling, or per engine with Engine.SetPerNodeSampling.
+//   - The deprecated positional wrappers (Broadcast, RunProtocol,
+//     BroadcastMulti) opt out internally and keep their historical
+//     per-node streams bit-for-bit stable across releases.
+//   - ExecuteSchedule and BuildSchedule take no per-round randomness from
+//     the engine and are unaffected.
 //
 // The runnable examples under examples/ exercise these entry points on the
 // scenarios from the paper's motivation; cmd/experiments regenerates every
@@ -74,11 +92,26 @@ type (
 	Protocol = radio.Protocol
 	// ProtocolFunc adapts a function to Protocol.
 	ProtocolFunc = radio.ProtocolFunc
+	// UniformProtocol is the optional Protocol capability that declares
+	// uniform rounds (every eligible node transmits with the same
+	// probability q), letting the engine draw the transmitter set in O(k)
+	// by binomial cohort sampling instead of per-node Bernoulli calls.
+	UniformProtocol = radio.UniformProtocol
+	// Cohort selects which informed nodes are eligible to transmit in a
+	// uniform round; see AllInformed and InformedBy.
+	Cohort = radio.Cohort
 	// Rand is the deterministic random source used everywhere.
 	Rand = xrand.Rand
 	// Engine is the low-level round-by-round radio simulator.
 	Engine = radio.Engine
 )
+
+// AllInformed is the Cohort of every informed node — the zero Cohort.
+var AllInformed = radio.AllInformed
+
+// InformedBy returns the Cohort of nodes informed in rounds <= cutoff
+// (the Theorem-7 restricted-pool reading).
+func InformedBy(cutoff int32) Cohort { return radio.InformedBy(cutoff) }
 
 // NewRand returns a deterministic random source seeded with seed.
 func NewRand(seed uint64) *Rand { return xrand.New(seed) }
@@ -149,9 +182,12 @@ func NewProtocol(n int, d float64) Protocol {
 // generous round budget and returns the result.
 //
 // Deprecated: use Run(g, src, WithDegree(d), WithRand(rng)); Broadcast is
-// its positional form and produces bit-for-bit identical results.
+// its positional form. Broadcast keeps the historical per-node randomness
+// stream (it opts out of the sampled fast path), so its outputs at a
+// fixed seed are bit-for-bit stable across releases; plain Run draws the
+// same transmitter-set distribution through the faster sampled stream.
 func Broadcast(g *Graph, src int32, d float64, rng *Rand) Result {
-	res, _ := Run(g, src, WithDegree(d), WithRand(rng)) // cannot fail: no schedule
+	res, _ := Run(g, src, WithDegree(d), WithRand(rng), WithPerNodeSampling()) // cannot fail: no schedule
 	return res
 }
 
@@ -159,22 +195,28 @@ func Broadcast(g *Graph, src int32, d float64, rng *Rand) Result {
 // maxRounds rounds.
 //
 // Deprecated: use Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds),
-// WithRand(rng)); RunProtocol is its positional form.
+// WithRand(rng)); RunProtocol is its positional form. Like Broadcast it
+// keeps the historical per-node randomness stream.
 func RunProtocol(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) Result {
-	res, _ := Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds), WithRand(rng))
+	res, _ := Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds), WithRand(rng), WithPerNodeSampling())
 	return res
 }
 
 // BroadcastTime runs p and returns the completion round, or maxRounds+1
 // if the broadcast did not finish (a sentinel that keeps failed runs
-// comparable).
+// comparable). It uses the sampled fast path when p declares uniform
+// rounds, so its randomness stream changed when the fast path landed
+// (recorded completion times at fixed seeds shifted; distributions did
+// not).
 func BroadcastTime(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) int {
 	return radio.BroadcastTime(g, src, p, maxRounds, rng)
 }
 
-// RunProtocolOn is RunProtocol on a caller-owned engine: the engine is
-// reset and reused, so a loop of trials over one graph allocates nothing
-// per trial. Results are identical to RunProtocol with the same rng.
+// RunProtocolOn is Run's protocol loop on a caller-owned engine: the
+// engine is reset and reused, so a loop of trials over one graph
+// allocates nothing per trial. Like Run (and unlike the deprecated
+// RunProtocol) it uses the sampled fast path when the protocol supports
+// it; call e.SetPerNodeSampling(true) for the per-node stream.
 func RunProtocolOn(e *Engine, p Protocol, maxRounds int, rng *Rand) Result {
 	return radio.RunProtocolOn(e, p, maxRounds, rng)
 }
