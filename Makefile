@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint bench experiments verify cover race clean
+.PHONY: all build test vet lint bench experiments verify cover race campaign-smoke clean
 
 all: build vet test
 
@@ -33,6 +33,21 @@ experiments:
 # Machine-checkable reproduction scorecard: one pass/fail per claim.
 verify:
 	go run ./cmd/experiments -verify -seed 2006
+
+# Kill-and-resume smoke test of the campaign runner: run a tiny campaign
+# to completion, then re-run it interrupted after 3 samples and resume
+# from the checkpoint — the two -json reports must be byte-identical, and
+# the offline `campaign report` must agree.
+campaign-smoke:
+	rm -rf /tmp/campaign-smoke && mkdir -p /tmp/campaign-smoke
+	go run ./cmd/campaign spec -preset smoke -seed 2006 > /tmp/campaign-smoke/spec.json
+	go run ./cmd/campaign run -spec /tmp/campaign-smoke/spec.json -out /tmp/campaign-smoke/full -quiet -json > /tmp/campaign-smoke/full.json
+	go run ./cmd/campaign run -spec /tmp/campaign-smoke/spec.json -out /tmp/campaign-smoke/ck -halt-after 3 -quiet -json > /tmp/campaign-smoke/partial.json
+	go run ./cmd/campaign run -spec /tmp/campaign-smoke/spec.json -out /tmp/campaign-smoke/ck -resume -quiet -json > /tmp/campaign-smoke/resumed.json
+	cmp /tmp/campaign-smoke/full.json /tmp/campaign-smoke/resumed.json
+	go run ./cmd/campaign report -out /tmp/campaign-smoke/ck -json > /tmp/campaign-smoke/offline.json
+	cmp /tmp/campaign-smoke/full.json /tmp/campaign-smoke/offline.json
+	@echo "campaign-smoke: resume converged to the uninterrupted report"
 
 clean:
 	go clean ./...

@@ -1,0 +1,242 @@
+// Command campaign orchestrates resumable, fault-tolerant Monte-Carlo
+// campaigns over the radio-broadcast simulators (see internal/campaign).
+//
+// Usage:
+//
+//	campaign spec   -preset e1|e4|collision-rate|scale|smoke
+//	                [-scale small|medium|full] [-seed S] [-trials N]
+//	campaign run    -spec FILE -out DIR [-workers N] [-resume]
+//	                [-halt-after N] [-points LO:HI] [-json] [-quiet]
+//	campaign resume -out DIR [-workers N] [-json] [-quiet]
+//	campaign report -out DIR [-json]
+//	campaign merge  -out DIR SRC1 SRC2 ...
+//
+// `spec` prints a preset campaign spec as JSON (edit it, or write your
+// own). `run` executes a spec, streaming completed trials into sharded
+// JSONL checkpoint files under -out; interrupt it (^C, or -halt-after for
+// a deterministic cut) and `resume` finishes exactly the missing trials —
+// the final report is byte-identical to an uninterrupted run. `report`
+// recomputes the report from a checkpoint without running anything.
+// `merge` unions checkpoints of the same spec recorded by different
+// machines (run with disjoint -points slices) into one directory.
+//
+// Example — the kill-and-resume loop the CI smoke job runs:
+//
+//	campaign spec -preset smoke -seed 2006 > smoke.json
+//	campaign run -spec smoke.json -out ck -halt-after 3
+//	campaign run -spec smoke.json -out ck -resume -json > report.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+
+	"repro/internal/campaign"
+)
+
+// specJSON renders a spec as indented JSON with a trailing newline.
+func specJSON(s *campaign.Spec) ([]byte, error) {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "spec":
+		err = cmdSpec(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:], false)
+	case "resume":
+		err = cmdRun(os.Args[2:], true)
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "merge":
+		err = cmdMerge(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "campaign: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  campaign spec   -preset NAME [-scale small|medium|full] [-seed S] [-trials N]
+  campaign run    -spec FILE -out DIR [-workers N] [-resume] [-halt-after N]
+                  [-points LO:HI] [-json] [-quiet]
+  campaign resume -out DIR [-workers N] [-json] [-quiet]
+  campaign report -out DIR [-json]
+  campaign merge  -out DIR SRC1 SRC2 ...`)
+}
+
+func cmdSpec(args []string) error {
+	fs := flag.NewFlagSet("campaign spec", flag.ExitOnError)
+	preset := fs.String("preset", "", "preset name (required)")
+	scale := fs.String("scale", "small", "ladder scale: small, medium or full")
+	seed := fs.Uint64("seed", 2006, "campaign base seed")
+	trials := fs.Int("trials", 0, "override per-point trial budget (0 = preset default)")
+	fs.Parse(args)
+	if *preset == "" {
+		return fmt.Errorf("spec: -preset is required (have %v)", campaign.Presets())
+	}
+	spec, err := campaign.Preset(*preset, *scale, *seed, *trials)
+	if err != nil {
+		return err
+	}
+	b, err := specJSON(spec)
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}
+
+func cmdRun(args []string, resume bool) error {
+	fs := flag.NewFlagSet("campaign run", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec JSON ('-' for stdin; resume reads it from the checkpoint)")
+	out := fs.String("out", "", "checkpoint directory (required)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); the report does not depend on it")
+	resumeFlag := fs.Bool("resume", false, "resume from the checkpoint in -out, running only missing trials")
+	haltAfter := fs.Int("halt-after", 0, "halt after N new samples (deterministic interruption for smoke tests)")
+	points := fs.String("points", "", "restrict to grid points LO:HI (half-open) for cross-machine sharding")
+	jsonOut := fs.Bool("json", false, "print the final report as JSON instead of text")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("run: -out is required")
+	}
+	resume = resume || *resumeFlag
+
+	var spec *campaign.Spec
+	var err error
+	switch {
+	case *specPath != "":
+		var b []byte
+		if *specPath == "-" {
+			b, err = io.ReadAll(os.Stdin)
+		} else {
+			b, err = os.ReadFile(*specPath)
+		}
+		if err != nil {
+			return err
+		}
+		spec, err = campaign.ParseSpec(b)
+		if err != nil {
+			return err
+		}
+	case resume:
+		m, err := campaign.ReadManifest(*out)
+		if err != nil {
+			return fmt.Errorf("resume: %w (pass -spec to start a fresh run)", err)
+		}
+		spec = m.Spec
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("run: -spec is required")
+	}
+
+	opt := campaign.Options{
+		Workers:   *workers,
+		Dir:       *out,
+		Resume:    resume,
+		HaltAfter: *haltAfter,
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+	if *points != "" {
+		if _, err := fmt.Sscanf(*points, "%d:%d", &opt.PointLo, &opt.PointHi); err != nil {
+			return fmt.Errorf("run: -points must be LO:HI, got %q", *points)
+		}
+	}
+
+	// ^C halts gracefully: in-flight trials finish, the checkpoint is
+	// flushed, and the partial report is printed; resume picks up there.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	interrupt := make(chan struct{})
+	go func() {
+		if _, ok := <-sig; ok {
+			fmt.Fprintln(os.Stderr, "campaign: interrupted; flushing checkpoint (^C again to kill)")
+			close(interrupt)
+			signal.Stop(sig)
+		}
+	}()
+	opt.Interrupt = interrupt
+
+	report, err := campaign.Run(spec, opt)
+	if err != nil {
+		return err
+	}
+	return printReport(report, *jsonOut)
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("campaign report", flag.ExitOnError)
+	out := fs.String("out", "", "checkpoint directory (required)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of text")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("report: -out is required")
+	}
+	report, err := campaign.ReportDir(*out)
+	if err != nil {
+		return err
+	}
+	return printReport(report, *jsonOut)
+}
+
+func cmdMerge(args []string) error {
+	fs := flag.NewFlagSet("campaign merge", flag.ExitOnError)
+	out := fs.String("out", "", "destination checkpoint directory (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("merge: -out is required")
+	}
+	srcs := fs.Args()
+	if len(srcs) == 0 {
+		return fmt.Errorf("merge: at least one source checkpoint directory is required")
+	}
+	m, err := campaign.Merge(*out, srcs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "campaign: merged %d samples from %d checkpoints into %s (complete=%v)\n",
+		m.Recorded, len(srcs), *out, m.Complete)
+	return nil
+}
+
+func printReport(r *campaign.Report, asJSON bool) error {
+	if asJSON {
+		b, err := r.JSON()
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	_, err := os.Stdout.WriteString(r.Text())
+	return err
+}

@@ -4,12 +4,18 @@
 // Usage:
 //
 //	radiosim [-n N] [-d D] [-algo distributed|centralized|decay|aloha]
-//	         [-src V] [-seed S] [-trace] [-trace-out FILE]
+//	         [-src V] [-seed S] [-trace] [-trace-out FILE] [-json]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // -trace prints the per-round records; -trace-out streams them as JSON
 // Lines (one begin record, one record per round, one end record) to FILE
-// for offline analysis. -cpuprofile and -memprofile write pprof profiles
+// for offline analysis. -json replaces the human-readable output with a
+// single machine-readable JSON summary object on stdout (progress chatter
+// moves to stderr), for scripting:
+//
+//	radiosim -n 1000 -d 15 -json | jq .rounds
+//
+// -cpuprofile and -memprofile write pprof profiles
 // covering the simulation (graph sampling through completion), for
 // hot-path work on the engine:
 //
@@ -22,8 +28,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -38,6 +46,37 @@ import (
 	"repro/internal/xrand"
 )
 
+// summary is the machine-readable run summary emitted by -json: one JSON
+// object holding the graph that was sampled, the outcome of the broadcast
+// and the paper's round bounds for comparison. Fields are stable; scripts
+// may rely on them.
+type summary struct {
+	Algo string `json:"algo"`
+	N    int    `json:"n"`
+	M    int    `json:"m"`
+	// D is the requested expected average degree d = pn; DegreeMean is
+	// what the sampled graph actually realized.
+	D    float64 `json:"d"`
+	Src  int     `json:"src"`
+	Seed uint64  `json:"seed"`
+
+	Attempts           int     `json:"attempts"` // connected-graph sampling attempts
+	DegreeMin          int     `json:"degree_min"`
+	DegreeMean         float64 `json:"degree_mean"`
+	DegreeMax          int     `json:"degree_max"`
+	SourceEccentricity int     `json:"source_eccentricity"`
+
+	Completed     bool `json:"completed"`
+	Rounds        int  `json:"rounds"`
+	Informed      int  `json:"informed"`
+	Transmissions int  `json:"transmissions"`
+	Deliveries    int  `json:"deliveries"`
+	Collisions    int  `json:"collisions"`
+
+	BoundCentralized float64 `json:"bound_centralized"`
+	BoundDistributed float64 `json:"bound_distributed"`
+}
+
 func main() {
 	n := flag.Int("n", 10000, "number of nodes")
 	d := flag.Float64("d", 20, "expected average degree d = pn")
@@ -47,9 +86,17 @@ func main() {
 	showTrace := flag.Bool("trace", false, "print per-round informed counts")
 	traceOut := flag.String("trace-out", "", "write per-round records as JSON Lines to this file")
 	saveSched := flag.String("save-schedule", "", "write the centralized schedule to this file")
+	jsonOut := flag.Bool("json", false, "print one machine-readable JSON summary object instead of text")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	// In -json mode stdout carries exactly one JSON object; everything
+	// human-readable (progress, traces, sparkline) moves to stderr.
+	out := io.Writer(os.Stdout)
+	if *jsonOut {
+		out = os.Stderr
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -81,15 +128,16 @@ func main() {
 	}
 
 	rng := xrand.New(*seed)
-	fmt.Printf("sampling connected G(n=%d, p=d/n) with d=%.1f ...\n", *n, *d)
+	fmt.Fprintf(out, "sampling connected G(n=%d, p=d/n) with d=%.1f ...\n", *n, *d)
 	g, tries, ok := gen.ConnectedGnp(*n, gen.PForDegree(*n, *d), rng, 100)
 	if !ok {
 		fmt.Fprintln(os.Stderr, "radiosim: could not sample a connected graph; increase -d")
 		os.Exit(1)
 	}
 	st := g.Degrees()
-	fmt.Printf("graph: %v  (attempt %d, degrees min=%d mean=%.1f max=%d, source ecc=%d)\n",
-		g, tries, st.Min, st.Mean, st.Max, graph.Eccentricity(g, int32(*src)))
+	ecc := graph.Eccentricity(g, int32(*src))
+	fmt.Fprintf(out, "graph: %v  (attempt %d, degrees min=%d mean=%.1f max=%d, source ecc=%d)\n",
+		g, tries, st.Min, st.Mean, st.Max, ecc)
 
 	var jw *trace.JSONLWriter
 	if *traceOut != "" {
@@ -110,7 +158,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("schedule phases: %s\n", tr)
+		fmt.Fprintf(out, "schedule phases: %s\n", tr)
 		if *saveSched != "" {
 			f, err := os.Create(*saveSched)
 			if err != nil {
@@ -125,7 +173,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("schedule written to %s\n", *saveSched)
+			fmt.Fprintf(out, "schedule written to %s\n", *saveSched)
 		}
 		e := radio.NewEngine(g, int32(*src), radio.StrictInformed)
 		if jw != nil {
@@ -158,7 +206,7 @@ func main() {
 
 	if *showTrace {
 		for _, rec := range res.Trace {
-			fmt.Println(rec)
+			fmt.Fprintln(out, rec)
 		}
 	}
 	if jw != nil {
@@ -166,14 +214,44 @@ func main() {
 			fmt.Fprintf(os.Stderr, "radiosim: writing %s: %v\n", *traceOut, err)
 			os.Exit(1)
 		}
-		fmt.Printf("trace written to %s (%d records)\n", *traceOut, len(res.Trace))
+		fmt.Fprintf(out, "trace written to %s (%d records)\n", *traceOut, len(res.Trace))
 	}
 	if len(res.Trace) > 1 {
 		curve := make([]float64, len(res.Trace))
 		for i, rec := range res.Trace {
 			curve[i] = float64(rec.Informed)
 		}
-		fmt.Printf("\nprogress %s (informed per round)\n", viz.Sparkline(curve))
+		fmt.Fprintf(out, "\nprogress %s (informed per round)\n", viz.Sparkline(curve))
+	}
+
+	if *jsonOut {
+		b, err := json.MarshalIndent(summary{
+			Algo:               *algo,
+			N:                  g.N(),
+			M:                  g.M(),
+			D:                  *d,
+			Src:                *src,
+			Seed:               *seed,
+			Attempts:           tries,
+			DegreeMin:          st.Min,
+			DegreeMean:         st.Mean,
+			DegreeMax:          st.Max,
+			SourceEccentricity: ecc,
+			Completed:          res.Completed,
+			Rounds:             res.Rounds,
+			Informed:           res.Informed,
+			Transmissions:      res.Stats.Transmissions,
+			Deliveries:         res.Stats.Deliveries,
+			Collisions:         res.Stats.Collisions,
+			BoundCentralized:   core.CentralizedBound(*n, *d),
+			BoundDistributed:   core.DistributedBound(*n),
+		}, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(string(b))
+		return
 	}
 	fmt.Printf("\ncompleted=%v rounds=%d informed=%d/%d\n", res.Completed, res.Rounds, res.Informed, res.N)
 	fmt.Printf("stats: %d transmissions, %d clean deliveries, %d collisions\n",

@@ -1,0 +1,215 @@
+// Package campaign is the Monte-Carlo campaign orchestrator: it takes a
+// declarative Spec (a grid of graph/protocol configurations times a
+// per-point trial budget), fans the trials out over a persistent worker
+// pool, and maintains online per-point aggregation — streaming
+// mean/variance (stats.Welford), P² quantiles and Wilson score intervals —
+// instead of retaining raw sample slices.
+//
+// Three properties distinguish a campaign from a plain sweep.Run loop:
+//
+//   - Determinism: every trial's seed is derived from (spec seed, point
+//     index, trial index) via the sweep.Seeds convention, and aggregation
+//     consumes samples in trial-index order through a reorder buffer, so
+//     the final report is byte-identical regardless of worker count,
+//     interruption, or resume order.
+//
+//   - Durability: completed trials append to sharded JSONL checkpoint
+//     files with an atomically-rewritten manifest; a resumed run skips
+//     exactly the trials already recorded and converges to the identical
+//     report an uninterrupted run produces.
+//
+//   - Fault tolerance and adaptive stopping: a panicking trial is
+//     captured, retried a bounded number of times, recorded as a failed
+//     sample, and never kills the pool; an optional stop rule ends a grid
+//     point early once the CI half-width of its mean undercuts a target,
+//     with the skipped budget reported.
+//
+// cmd/campaign is the CLI (run, resume, report, merge, spec).
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// TrialSpec declares what one trial of a grid point executes. Kind names
+// a registered trial runner (see RegisterKind and the built-in kinds in
+// trials.go); the remaining fields parameterise it.
+type TrialSpec struct {
+	// Kind selects the trial runner: "distributed", "centralized",
+	// "decay", "aloha" or "collision-rate" (or any registered extension).
+	Kind string `json:"kind"`
+	// N is the number of nodes of the sampled G(n,p).
+	N int `json:"n"`
+	// D is the expected average degree d = p·n.
+	D float64 `json:"d"`
+	// MaxRounds overrides the round budget (0 = core.MaxRoundsFor(N)).
+	MaxRounds int `json:"max_rounds,omitempty"`
+	// FixedGraph pins the point to a single graph sampled from the point
+	// seed instead of resampling per trial; trials then measure the
+	// protocol's randomness on one topology. (Meaningless for the
+	// replay-only centralized kind, which then varies the schedule seed.)
+	FixedGraph bool `json:"fixed_graph,omitempty"`
+}
+
+// PointSpec is one configuration of the campaign grid.
+type PointSpec struct {
+	// ID is the stable identifier used in checkpoints and reports. IDs
+	// must be unique within a spec.
+	ID string `json:"id"`
+	// X is the swept parameter for reporting (n, d, f, ...).
+	X float64 `json:"x"`
+	// Trial declares the work.
+	Trial TrialSpec `json:"trial"`
+}
+
+// StopRule configures adaptive stopping of a grid point: once at least
+// MinTrials samples are aggregated and the 95% CI half-width of the mean
+// undercuts the target, the point stops consuming budget. The decision is
+// taken on the in-order aggregation stream, so it is deterministic — the
+// same prefix of trials always stops at the same index.
+type StopRule struct {
+	// MinTrials is the minimum number of aggregated trials before the
+	// rule may fire (at least 2; half-widths need a variance).
+	MinTrials int `json:"min_trials"`
+	// HalfWidth is the target CI half-width: absolute, or a fraction of
+	// |mean| when Relative is set.
+	HalfWidth float64 `json:"half_width"`
+	// Relative interprets HalfWidth as a fraction of the running |mean|.
+	Relative bool `json:"relative,omitempty"`
+}
+
+// Spec declares a campaign: a grid of points, a per-point trial budget,
+// and the determinism/fault-tolerance knobs.
+type Spec struct {
+	// Name labels the campaign in reports and manifests.
+	Name string `json:"name"`
+	// Seed is the campaign base seed. Point i's trials use the seeds
+	// sweep.Seeds(Trials, xrand.New(Seed).DeriveSeed(i+1)).
+	Seed uint64 `json:"seed"`
+	// Trials is the per-point trial budget.
+	Trials int `json:"trials"`
+	// MaxRetries bounds how often a panicking trial is re-attempted
+	// before being recorded as failed (0 = record on first panic).
+	MaxRetries int `json:"max_retries,omitempty"`
+	// Shards is the number of checkpoint shard files (default 4).
+	Shards int `json:"shards,omitempty"`
+	// Stop optionally enables adaptive stopping for every point.
+	Stop *StopRule `json:"stop,omitempty"`
+	// Points is the campaign grid.
+	Points []PointSpec `json:"points"`
+}
+
+// DefaultShards is the checkpoint shard count used when Spec.Shards is 0.
+const DefaultShards = 4
+
+// Validate checks the spec for structural errors: empty grids, duplicate
+// point IDs, unknown trial kinds, non-positive budgets.
+func (s *Spec) Validate() error {
+	if s.Trials <= 0 {
+		return fmt.Errorf("campaign: spec %q: trials must be positive, got %d", s.Name, s.Trials)
+	}
+	if s.MaxRetries < 0 {
+		return fmt.Errorf("campaign: spec %q: max_retries must be non-negative", s.Name)
+	}
+	if s.Shards < 0 {
+		return fmt.Errorf("campaign: spec %q: shards must be non-negative", s.Name)
+	}
+	if len(s.Points) == 0 {
+		return fmt.Errorf("campaign: spec %q has no points", s.Name)
+	}
+	if s.Stop != nil {
+		if s.Stop.MinTrials < 2 {
+			return fmt.Errorf("campaign: spec %q: stop.min_trials must be >= 2", s.Name)
+		}
+		if !(s.Stop.HalfWidth > 0) {
+			return fmt.Errorf("campaign: spec %q: stop.half_width must be positive", s.Name)
+		}
+	}
+	seen := make(map[string]bool, len(s.Points))
+	for i, p := range s.Points {
+		if p.ID == "" {
+			return fmt.Errorf("campaign: point %d has no id", i)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("campaign: duplicate point id %q", p.ID)
+		}
+		seen[p.ID] = true
+		if !KindRegistered(p.Trial.Kind) {
+			return fmt.Errorf("campaign: point %q: unknown trial kind %q", p.ID, p.Trial.Kind)
+		}
+		if p.Trial.N <= 0 {
+			return fmt.Errorf("campaign: point %q: n must be positive", p.ID)
+		}
+		if p.Trial.D <= 0 {
+			return fmt.Errorf("campaign: point %q: d must be positive", p.ID)
+		}
+	}
+	return nil
+}
+
+// shards returns the effective checkpoint shard count.
+func (s *Spec) shards() int {
+	if s.Shards > 0 {
+		return s.Shards
+	}
+	return DefaultShards
+}
+
+// Hash returns a stable FNV-1a fingerprint of the spec's canonical JSON,
+// used by checkpoints to refuse resuming under a changed spec (seeds are
+// tied to point indices, so any edit invalidates recorded trials).
+func (s *Spec) Hash() string {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on one.
+		panic("campaign: marshaling spec: " + err.Error())
+	}
+	h := fnv.New64a()
+	h.Write(b)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// ParseSpec decodes and validates a spec from JSON.
+func ParseSpec(b []byte) (*Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("campaign: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// JSONFloat is a float64 that marshals NaN and infinities as null (and
+// unmarshals null back to NaN), so reports containing undefined
+// statistics (variance of one sample, quantiles of an empty point)
+// remain valid JSON with deterministic bytes.
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}

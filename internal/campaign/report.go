@@ -1,0 +1,313 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// pointAgg is the online aggregation state of one grid point. Samples
+// arrive in completion order (scheduling-dependent); the aggregator holds
+// them in a reorder buffer and consumes strictly in trial-index order, so
+// every derived statistic — and in particular the adaptive-stopping
+// decision — is a function of the sample prefix alone, independent of
+// worker count, interruption and resume order.
+type pointAgg struct {
+	budget  int
+	rule    *StopRule
+	pending map[int]*Sample // completed but not yet consumable in order
+	next    int             // next trial index to consume
+
+	consumed  int // trials aggregated (order prefix length)
+	failures  int // consumed trials that panicked
+	successes int // consumed trials with OK set
+	welford   stats.Welford
+	p10       *stats.P2
+	p50       *stats.P2
+	p90       *stats.P2
+	min, max  float64
+	stopped   bool // adaptive stop fired at consumed trials
+}
+
+func newPointAgg(spec *Spec) *pointAgg {
+	return &pointAgg{
+		budget:  spec.Trials,
+		rule:    spec.Stop,
+		pending: make(map[int]*Sample),
+		p10:     stats.NewP2(0.10),
+		p50:     stats.NewP2(0.50),
+		p90:     stats.NewP2(0.90),
+		min:     math.NaN(),
+		max:     math.NaN(),
+	}
+}
+
+// feed hands the aggregator one completed sample and drains the reorder
+// buffer. It returns true if the adaptive stop rule fired during this
+// call.
+func (a *pointAgg) feed(s *Sample) bool {
+	if a.stopped || s.Trial < a.next {
+		return false // beyond the stop index, or a duplicate
+	}
+	a.pending[s.Trial] = s
+	fired := false
+	for !a.stopped && a.next < a.budget {
+		cur, ok := a.pending[a.next]
+		if !ok {
+			break
+		}
+		delete(a.pending, a.next)
+		a.next++
+		a.consume(cur)
+		if a.checkStop() {
+			fired = true
+		}
+	}
+	if a.stopped {
+		// In-flight trials past the stop index will never be consumed.
+		a.pending = nil
+	}
+	return fired
+}
+
+func (a *pointAgg) consume(s *Sample) {
+	a.consumed++
+	if s.Failed {
+		a.failures++
+		return
+	}
+	if s.OK {
+		a.successes++
+	}
+	a.welford.Add(s.Value)
+	a.p10.Add(s.Value)
+	a.p50.Add(s.Value)
+	a.p90.Add(s.Value)
+	if math.IsNaN(a.min) || s.Value < a.min {
+		a.min = s.Value
+	}
+	if math.IsNaN(a.max) || s.Value > a.max {
+		a.max = s.Value
+	}
+}
+
+func (a *pointAgg) checkStop() bool {
+	if a.rule == nil || a.stopped || a.consumed < a.rule.MinTrials {
+		return false
+	}
+	hw := a.welford.CI95HalfWidth()
+	if math.IsNaN(hw) {
+		return false
+	}
+	target := a.rule.HalfWidth
+	if a.rule.Relative {
+		target *= math.Abs(a.welford.Mean())
+	}
+	if hw <= target {
+		a.stopped = true
+		return true
+	}
+	return false
+}
+
+// done reports whether the point needs no more trials.
+func (a *pointAgg) done() bool { return a.stopped || a.consumed >= a.budget }
+
+// PointReport is the aggregated result of one grid point. Every field is
+// deterministic for a given (spec, seed): nothing scheduling-dependent —
+// wall-clock, worker identity, samples recorded past an adaptive stop —
+// appears here, which is what makes reports byte-comparable across runs.
+type PointReport struct {
+	ID   string    `json:"id"`
+	X    JSONFloat `json:"x"`
+	Kind string    `json:"kind"`
+	N    int       `json:"n"`
+	D    JSONFloat `json:"d"`
+
+	// Budget is the spec's per-point trial budget; Consumed is how many
+	// trials the aggregation actually used (less than Budget when the
+	// point stopped early or the checkpoint is incomplete).
+	Budget   int `json:"budget"`
+	Consumed int `json:"consumed"`
+	// Failures counts consumed trials that panicked on every attempt;
+	// their values are excluded from the value statistics below but they
+	// count as unsuccessful trials in the success-rate interval.
+	Failures int `json:"failures"`
+
+	// Successes / SuccessRate / Wilson* describe the trial-level success
+	// probability (e.g. broadcast completed within budget) with its 95%
+	// Wilson score interval.
+	Successes   int       `json:"successes"`
+	SuccessRate JSONFloat `json:"success_rate"`
+	WilsonLow   JSONFloat `json:"wilson_low"`
+	WilsonHigh  JSONFloat `json:"wilson_high"`
+
+	// Mean/StdDev/CIHalfWidth are the streaming Welford statistics of the
+	// non-failed trial values; the CI is the normal-approximation 95%
+	// interval of the mean.
+	Mean        JSONFloat `json:"mean"`
+	StdDev      JSONFloat `json:"stddev"`
+	CIHalfWidth JSONFloat `json:"ci_half_width"`
+
+	// P10/Median/P90 are P² streaming quantile estimates (exact below 5
+	// samples); Min/Max are exact.
+	P10    JSONFloat `json:"p10"`
+	Median JSONFloat `json:"median"`
+	P90    JSONFloat `json:"p90"`
+	Min    JSONFloat `json:"min"`
+	Max    JSONFloat `json:"max"`
+
+	// StoppedEarly reports the adaptive stop rule fired; SavedTrials is
+	// the budget it skipped.
+	StoppedEarly bool `json:"stopped_early"`
+	SavedTrials  int  `json:"saved_trials"`
+	// Complete reports the point needs no more trials (budget exhausted
+	// or stopped early).
+	Complete bool `json:"complete"`
+}
+
+// Report is the final campaign report.
+type Report struct {
+	Name     string `json:"name"`
+	SpecHash string `json:"spec_hash"`
+	Seed     uint64 `json:"seed"`
+	Trials   int    `json:"trials"`
+	// Complete reports every point finished; SavedTrials totals the
+	// budget skipped by adaptive stopping.
+	Complete    bool          `json:"complete"`
+	SavedTrials int           `json:"saved_trials"`
+	Points      []PointReport `json:"points"`
+}
+
+// BuildReport aggregates recorded samples into the campaign report by
+// feeding each point's samples in trial-index order. It is the single
+// aggregation path: the live runner and the offline `campaign report`
+// command both end here, so their outputs are byte-identical given the
+// same samples.
+func BuildReport(spec *Spec, samples map[key]*Sample) *Report {
+	r := &Report{
+		Name:     spec.Name,
+		SpecHash: spec.Hash(),
+		Seed:     spec.Seed,
+		Trials:   spec.Trials,
+		Complete: true,
+	}
+	for p := range spec.Points {
+		agg := newPointAgg(spec)
+		for t := 0; t < spec.Trials; t++ {
+			s, ok := samples[key{p, t}]
+			if !ok {
+				break
+			}
+			agg.feed(s)
+			if agg.stopped {
+				break
+			}
+		}
+		pr := agg.report(&spec.Points[p])
+		if !pr.Complete {
+			r.Complete = false
+		}
+		r.SavedTrials += pr.SavedTrials
+		r.Points = append(r.Points, pr)
+	}
+	return r
+}
+
+// ReportDir recomputes the report of a checkpoint directory from its
+// recorded samples, without running anything. An incomplete checkpoint
+// yields a report with Complete false and per-point Consumed counts
+// reflecting the recorded prefix.
+func ReportDir(dir string) (*Report, error) {
+	m, samples, err := LoadSamples(dir)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	return BuildReport(m.Spec, samples), nil
+}
+
+// report snapshots the aggregation state into a PointReport.
+func (a *pointAgg) report(p *PointSpec) PointReport {
+	pr := PointReport{
+		ID:           p.ID,
+		X:            JSONFloat(p.X),
+		Kind:         p.Trial.Kind,
+		N:            p.Trial.N,
+		D:            JSONFloat(p.Trial.D),
+		Budget:       a.budget,
+		Consumed:     a.consumed,
+		Failures:     a.failures,
+		Successes:    a.successes,
+		SuccessRate:  JSONFloat(math.NaN()),
+		Mean:         JSONFloat(a.welford.Mean()),
+		StdDev:       JSONFloat(a.welford.StdDev()),
+		CIHalfWidth:  JSONFloat(a.welford.CI95HalfWidth()),
+		P10:          JSONFloat(a.p10.Value()),
+		Median:       JSONFloat(a.p50.Value()),
+		P90:          JSONFloat(a.p90.Value()),
+		Min:          JSONFloat(a.min),
+		Max:          JSONFloat(a.max),
+		StoppedEarly: a.stopped,
+		Complete:     a.done(),
+	}
+	if a.consumed > 0 {
+		pr.SuccessRate = JSONFloat(float64(a.successes) / float64(a.consumed))
+	}
+	lo, hi := stats.Wilson(a.successes, a.consumed, 1.96)
+	pr.WilsonLow, pr.WilsonHigh = JSONFloat(lo), JSONFloat(hi)
+	if a.stopped {
+		pr.SavedTrials = a.budget - a.consumed
+	}
+	return pr
+}
+
+// JSON renders the report as indented JSON with a trailing newline. The
+// bytes are deterministic: field order is fixed by the struct
+// definitions, float formatting by encoding/json, and non-finite values
+// marshal as null via JSONFloat.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the report as a fixed-width table. Like JSON, the output
+// is deterministic for a given report.
+func (r *Report) Text() string {
+	var b strings.Builder
+	status := "complete"
+	if !r.Complete {
+		status = "INCOMPLETE"
+	}
+	fmt.Fprintf(&b, "campaign %s  (seed %d, budget %d trials/point, %s)\n",
+		r.Name, r.Seed, r.Trials, status)
+	if r.SavedTrials > 0 {
+		fmt.Fprintf(&b, "adaptive stopping saved %d trials\n", r.SavedTrials)
+	}
+	fmt.Fprintf(&b, "%-18s %10s %9s %5s %4s %9s %9s %9s %9s %9s %14s\n",
+		"point", "x", "kind", "n/bud", "fail", "mean", "±ci95", "p10", "median", "p90", "ok (wilson95)")
+	for i := range r.Points {
+		p := &r.Points[i]
+		mark := ""
+		if p.StoppedEarly {
+			mark = "*"
+		} else if !p.Complete {
+			mark = "!"
+		}
+		fmt.Fprintf(&b, "%-18s %10.4g %9s %2d/%-2d %4d %9.4g %9.3g %9.4g %9.4g %9.4g %5.3f [%.3f,%.3f]%s\n",
+			p.ID, float64(p.X), p.Kind, p.Consumed, p.Budget, p.Failures,
+			float64(p.Mean), float64(p.CIHalfWidth),
+			float64(p.P10), float64(p.Median), float64(p.P90),
+			float64(p.SuccessRate), float64(p.WilsonLow), float64(p.WilsonHigh), mark)
+	}
+	b.WriteString("(* stopped early by CI target, ! incomplete)\n")
+	return b.String()
+}

@@ -1,0 +1,304 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sweep"
+	"repro/internal/xrand"
+)
+
+// Options configures one Run invocation. The zero value runs in-memory
+// (no checkpoint) on GOMAXPROCS workers over the whole grid.
+type Options struct {
+	// Workers is the worker-pool size (0 = GOMAXPROCS). The final report
+	// does not depend on it.
+	Workers int
+	// Dir is the checkpoint directory; "" disables checkpointing.
+	Dir string
+	// Resume loads the samples already recorded in Dir and runs only the
+	// missing trials. Requires Dir.
+	Resume bool
+	// HaltAfter stops dispatching once that many new samples have been
+	// recorded this run (0 = run to completion) — the deterministic
+	// "kill" half of the kill-and-resume smoke test. The checkpoint is
+	// flushed before Run returns.
+	HaltAfter int
+	// FlushEvery is the checkpoint flush cadence in samples (0 = 64).
+	FlushEvery int
+	// Progress, when non-nil, receives human-readable progress lines
+	// (point completions, stops, the final summary).
+	Progress io.Writer
+	// Interrupt, when non-nil, halts the run gracefully when it becomes
+	// readable (closed): in-flight trials finish, the checkpoint is
+	// flushed, and Run returns the partial report. Wire ^C to it.
+	Interrupt <-chan struct{}
+	// PointLo/PointHi restrict this run to grid points [PointLo, PointHi)
+	// for sharding a campaign across machines; (0, 0) means the whole
+	// grid. Shard checkpoints recombine with Merge.
+	PointLo, PointHi int
+}
+
+func (o *Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o *Options) flushEvery() int {
+	if o.FlushEvery > 0 {
+		return o.FlushEvery
+	}
+	return 64
+}
+
+// workItem is one (point, trial) dispatch.
+type workItem struct {
+	point, trial int
+	seed         uint64
+}
+
+// Run executes a campaign. The returned report is byte-identical (via
+// Report.JSON or Report.Text) for a given spec regardless of worker
+// count, and an interrupted run resumed from its checkpoint converges to
+// the identical report an uninterrupted run produces; see the invariance
+// tests.
+func Run(spec *Spec, opt Options) (*Report, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	lo, hi := opt.PointLo, opt.PointHi
+	if lo == 0 && hi == 0 {
+		hi = len(spec.Points)
+	}
+	if lo < 0 || hi > len(spec.Points) || lo >= hi {
+		return nil, fmt.Errorf("campaign: point range [%d, %d) outside grid of %d points", lo, hi, len(spec.Points))
+	}
+	if opt.Resume && opt.Dir == "" {
+		return nil, fmt.Errorf("campaign: resume requires a checkpoint directory")
+	}
+
+	// Per-trial seeds, derived once, identically on every run of this
+	// spec: point i's trials use sweep.Seeds over the point's derived
+	// base seed.
+	parent := xrand.New(spec.Seed)
+	trialSeeds := make([][]uint64, len(spec.Points))
+	for p := range spec.Points {
+		trialSeeds[p] = sweep.Seeds(spec.Trials, parent.DeriveSeed(uint64(p)+1))
+	}
+	pointSeeds := make([]uint64, len(spec.Points))
+	for p := range spec.Points {
+		pointSeeds[p] = parent.DeriveSeed(uint64(p) + 1)
+	}
+
+	samples := make(map[key]*Sample)
+	var ck *Checkpoint
+	var err error
+	if opt.Dir != "" {
+		if opt.Resume {
+			ck, samples, err = OpenCheckpoint(opt.Dir, spec)
+		} else {
+			ck, err = CreateCheckpoint(opt.Dir, spec)
+		}
+		if err != nil {
+			return nil, err
+		}
+		defer ck.Close()
+	}
+
+	// Seed the aggregators with everything already recorded, in order;
+	// adaptive stops fire now exactly where they fired before the
+	// interruption.
+	aggs := make([]*pointAgg, len(spec.Points))
+	stopped := make([]atomic.Bool, len(spec.Points))
+	for p := range spec.Points {
+		aggs[p] = newPointAgg(spec)
+		for t := 0; t < spec.Trials; t++ {
+			if s, ok := samples[key{p, t}]; ok {
+				aggs[p].feed(s)
+			}
+		}
+		if aggs[p].stopped {
+			stopped[p].Store(true)
+		}
+	}
+
+	// The work list interleaves trials across points (trial 0 of every
+	// point, then trial 1, ...) so adaptive stopping sees every point's
+	// early trials as soon as possible.
+	var items []workItem
+	for t := 0; t < spec.Trials; t++ {
+		for p := lo; p < hi; p++ {
+			if _, done := samples[key{p, t}]; done {
+				continue
+			}
+			items = append(items, workItem{point: p, trial: t, seed: trialSeeds[p][t]})
+		}
+	}
+
+	halt := make(chan struct{})
+	var haltOnce sync.Once
+	haltNow := func() { haltOnce.Do(func() { close(halt) }) }
+	if opt.Interrupt != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-opt.Interrupt:
+				haltNow()
+			case <-done:
+			}
+		}()
+	}
+
+	workCh := make(chan workItem)
+	resCh := make(chan *Sample, opt.workers())
+	go func() { // dispatcher
+		defer close(workCh)
+		for _, it := range items {
+			if stopped[it.point].Load() {
+				continue
+			}
+			select {
+			case <-halt:
+				return
+			case workCh <- it:
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < opt.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runWorker(spec, pointSeeds, workCh, resCh)
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(resCh)
+	}()
+
+	// Collector: the only goroutine touching samples, aggs and the
+	// checkpoint once the pool is running.
+	newSamples := 0
+	sinceFlush := 0
+	var flushErr error
+	for s := range resCh {
+		samples[key{s.Point, s.Trial}] = s
+		if ck != nil {
+			ck.Append(s)
+		}
+		newSamples++
+		sinceFlush++
+		agg := aggs[s.Point]
+		wasDone := agg.done()
+		agg.feed(s)
+		if agg.stopped {
+			stopped[s.Point].Store(true)
+		}
+		if !wasDone && agg.done() && opt.Progress != nil {
+			p := &spec.Points[s.Point]
+			how := "budget exhausted"
+			if agg.stopped {
+				how = fmt.Sprintf("CI target hit, %d trials saved", agg.budget-agg.consumed)
+			}
+			mean := agg.welford.Mean()
+			fmt.Fprintf(opt.Progress, "campaign: point %s done: %d/%d trials, mean %.4g (%s)\n",
+				p.ID, agg.consumed, agg.budget, mean, how)
+		}
+		if ck != nil && sinceFlush >= opt.flushEvery() && flushErr == nil {
+			if flushErr = ck.Flush(false); flushErr != nil {
+				haltNow() // stop dispatching, drain the pool, then fail
+			}
+			sinceFlush = 0
+		}
+		if opt.HaltAfter > 0 && newSamples >= opt.HaltAfter {
+			haltNow()
+		}
+	}
+	if flushErr != nil {
+		return nil, flushErr
+	}
+
+	report := BuildReport(spec, samples)
+	if ck != nil {
+		if err := ck.Flush(report.Complete); err != nil {
+			return nil, err
+		}
+	}
+	if opt.Progress != nil {
+		state := "complete"
+		if !report.Complete {
+			state = "incomplete (halted or sliced; resume or merge to finish)"
+		}
+		fmt.Fprintf(opt.Progress, "campaign: %s: %d samples this run, %d total, %s\n",
+			spec.Name, newSamples, len(samples), state)
+	}
+	return report, nil
+}
+
+// runWorker executes work items until the channel closes. Each worker
+// caches one Runner per point (the sweep.RunWith engine-reuse pattern)
+// and survives panicking trials: a panic is captured, the cached runner —
+// whose state the panic may have corrupted — is discarded, the trial is
+// retried up to spec.MaxRetries times, and a still-failing trial is
+// recorded as a failed sample rather than killing the pool.
+func runWorker(spec *Spec, pointSeeds []uint64, workCh <-chan workItem, resCh chan<- *Sample) {
+	runners := make(map[int]Runner)
+	for it := range workCh {
+		s := &Sample{
+			Point:   it.point,
+			PointID: spec.Points[it.point].ID,
+			Trial:   it.trial,
+			Seed:    it.seed,
+		}
+		for attempt := 0; ; attempt++ {
+			value, ok, err := attemptTrial(spec, pointSeeds, runners, it)
+			if err == nil && (math.IsNaN(value) || math.IsInf(value, 0)) {
+				err = fmt.Errorf("trial returned non-finite value %v", value)
+			}
+			if err == nil {
+				s.Value, s.OK, s.Retries = value, ok, attempt
+				break
+			}
+			// The panic may have left the cached runner (engine, scratch
+			// buffers) in an inconsistent state; rebuild it. Runners are
+			// deterministic functions of (point, pointSeed), so a rebuilt
+			// runner behaves identically to a fresh one.
+			delete(runners, it.point)
+			if attempt >= spec.MaxRetries {
+				s.Failed = true
+				s.Err = err.Error()
+				s.Retries = attempt
+				break
+			}
+		}
+		resCh <- s
+	}
+}
+
+// attemptTrial runs one attempt of one trial, converting panics (in
+// runner construction or the trial itself) into errors.
+func attemptTrial(spec *Spec, pointSeeds []uint64, runners map[int]Runner, it workItem) (value float64, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	runner, cached := runners[it.point]
+	if !cached {
+		runner, err = newRunner(spec.Points[it.point], pointSeeds[it.point])
+		if err != nil {
+			return 0, false, err
+		}
+		runners[it.point] = runner
+	}
+	value, ok = runner.RunTrial(xrand.New(it.seed))
+	return value, ok, nil
+}

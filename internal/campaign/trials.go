@@ -1,0 +1,230 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/protocols"
+	"repro/internal/radio"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+// Runner executes the trials of one grid point. A runner is created once
+// per (worker, point) pair and may cache expensive state — graphs,
+// engines, scratch buffers — between trials, the sweep.RunWith reuse
+// contract: a trial must reset any result-relevant state at its start and
+// draw randomness exclusively from the per-trial rng, so its result is a
+// pure function of the seed, independent of which worker ran it or what
+// ran before.
+type Runner interface {
+	// RunTrial executes one trial: value is the scalar measurement, ok
+	// reports trial-level success (e.g. the broadcast completed within
+	// budget).
+	RunTrial(rng *xrand.Rand) (value float64, ok bool)
+}
+
+// NewRunnerFunc builds a Runner for a point. pointSeed is the point's
+// derived base seed; runners that pin state to the point (FixedGraph)
+// must derive it from pointSeed with ids outside 1..Trials (the trial
+// ids), conventionally id 0, so every worker builds identical state.
+type NewRunnerFunc func(p PointSpec, pointSeed uint64) (Runner, error)
+
+var (
+	kindMu sync.RWMutex
+	kinds  = map[string]NewRunnerFunc{}
+)
+
+// RegisterKind registers a trial kind. Registering a duplicate name
+// panics. Extensions and tests may register their own kinds before
+// building specs that reference them.
+func RegisterKind(name string, fn NewRunnerFunc) {
+	kindMu.Lock()
+	defer kindMu.Unlock()
+	if _, dup := kinds[name]; dup {
+		panic("campaign: duplicate trial kind " + name)
+	}
+	kinds[name] = fn
+}
+
+// KindRegistered reports whether a trial kind is registered.
+func KindRegistered(name string) bool {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	_, ok := kinds[name]
+	return ok
+}
+
+// Kinds returns the registered kind names, sorted.
+func Kinds() []string {
+	kindMu.RLock()
+	defer kindMu.RUnlock()
+	out := make([]string, 0, len(kinds))
+	for k := range kinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// newRunner builds the Runner for a point.
+func newRunner(p PointSpec, pointSeed uint64) (Runner, error) {
+	kindMu.RLock()
+	fn, ok := kinds[p.Trial.Kind]
+	kindMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown trial kind %q", p.Trial.Kind)
+	}
+	return fn(p, pointSeed)
+}
+
+func init() {
+	RegisterKind("distributed", newProtocolKind(func(t TrialSpec) radio.Protocol {
+		return core.NewDistributedProtocol(t.N, t.D)
+	}))
+	RegisterKind("decay", newProtocolKind(func(t TrialSpec) radio.Protocol {
+		return protocols.NewDecay(t.N)
+	}))
+	RegisterKind("aloha", newProtocolKind(func(t TrialSpec) radio.Protocol {
+		return protocols.NewAloha(t.D)
+	}))
+	RegisterKind("centralized", newCentralizedRunner)
+	RegisterKind("collision-rate", newCollisionRateRunner)
+}
+
+// maxRounds returns the effective round budget of a trial spec.
+func (t TrialSpec) maxRounds() int {
+	if t.MaxRounds > 0 {
+		return t.MaxRounds
+	}
+	return core.MaxRoundsFor(t.N)
+}
+
+// graphSeedID is the Derive id reserved for the FixedGraph sample; trial
+// seeds use ids 1..Trials (sweep.Seeds), so 0 is free.
+const graphSeedID = 0
+
+// sampleConnected draws a connected G(n, d/n), panicking after 100 failed
+// attempts — for the degree regimes campaigns run this indicates a
+// misconfigured point, and the panic is captured by the pool's fault
+// tolerance and recorded as a failed sample.
+func sampleConnected(n int, d float64, rng *xrand.Rand) *graph.Graph {
+	g, _, ok := gen.ConnectedGnp(n, gen.PForDegree(n, d), rng, 100)
+	if !ok {
+		panic(fmt.Sprintf("campaign: no connected G(n=%d, d=%.2f) in 100 draws; degree too low", n, d))
+	}
+	return g
+}
+
+// protocolRunner measures the completion round of a randomized protocol:
+// value is the round the broadcast completed (maxRounds+1 if it did not),
+// ok reports completion. With FixedGraph the graph and engine are built
+// once per worker from the point seed and reused across trials
+// (Engine.Reset at each start); otherwise each trial samples a fresh
+// connected G(n,p) from its own rng.
+type protocolRunner struct {
+	spec      TrialSpec
+	proto     radio.Protocol
+	maxRounds int
+	engine    *radio.Engine // non-nil iff FixedGraph
+}
+
+func newProtocolKind(proto func(TrialSpec) radio.Protocol) NewRunnerFunc {
+	return func(p PointSpec, pointSeed uint64) (Runner, error) {
+		r := &protocolRunner{spec: p.Trial, proto: proto(p.Trial), maxRounds: p.Trial.maxRounds()}
+		if p.Trial.FixedGraph {
+			g := sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
+			r.engine = radio.NewEngine(g, 0, radio.StrictInformed)
+		}
+		return r, nil
+	}
+}
+
+func (r *protocolRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
+	var rounds int
+	if r.engine != nil {
+		rounds = radio.BroadcastTimeOn(r.engine, r.proto, r.maxRounds, rng)
+	} else {
+		g := sampleConnected(r.spec.N, r.spec.D, rng)
+		rounds = radio.BroadcastTime(g, 0, r.proto, r.maxRounds, rng)
+	}
+	return float64(rounds), rounds <= r.maxRounds
+}
+
+// centralizedRunner measures the replayed length of the Theorem 5
+// centralized schedule: value is the executed rounds, ok reports
+// completion. Each trial samples a fresh graph and builds a fresh
+// schedule seeded from the trial rng; with FixedGraph the graph is pinned
+// to the point seed and only the schedule seed varies per trial (a
+// fixed-graph fixed-schedule replay would be the same deterministic
+// number every trial).
+type centralizedRunner struct {
+	spec  TrialSpec
+	fixed *graph.Graph // non-nil iff FixedGraph
+}
+
+func newCentralizedRunner(p PointSpec, pointSeed uint64) (Runner, error) {
+	r := &centralizedRunner{spec: p.Trial}
+	if p.Trial.FixedGraph {
+		r.fixed = sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
+	}
+	return r, nil
+}
+
+func (r *centralizedRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
+	g := r.fixed
+	if g == nil {
+		g = sampleConnected(r.spec.N, r.spec.D, rng)
+	}
+	sched, _, err := core.BuildCentralizedSchedule(g, 0, r.spec.D, core.DefaultCentralizedConfig(rng.Uint64()))
+	if err != nil {
+		panic(fmt.Sprintf("campaign: building centralized schedule: %v", err))
+	}
+	res, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+	if err != nil {
+		panic(fmt.Sprintf("campaign: replaying centralized schedule: %v", err))
+	}
+	return float64(res.Rounds), res.Completed
+}
+
+// collisionRateRunner measures the fraction of listener-rounds lost to
+// collisions during one distributed broadcast (the E23-style aggregate):
+// value = collisions / (successes + collisions + silent), ok reports
+// completion. A per-runner trace.Counters observer is reset each trial.
+type collisionRateRunner struct {
+	spec      TrialSpec
+	maxRounds int
+	counters  trace.Counters
+	engine    *radio.Engine // non-nil iff FixedGraph
+}
+
+func newCollisionRateRunner(p PointSpec, pointSeed uint64) (Runner, error) {
+	r := &collisionRateRunner{spec: p.Trial, maxRounds: p.Trial.maxRounds()}
+	if p.Trial.FixedGraph {
+		g := sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
+		r.engine = radio.NewEngine(g, 0, radio.StrictInformed)
+		r.engine.Attach(&r.counters)
+	}
+	return r, nil
+}
+
+func (r *collisionRateRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
+	r.counters = trace.Counters{}
+	e := r.engine
+	if e == nil {
+		g := sampleConnected(r.spec.N, r.spec.D, rng)
+		e = radio.NewEngine(g, 0, radio.StrictInformed)
+		e.Attach(&r.counters)
+	}
+	proto := core.NewDistributedProtocol(r.spec.N, r.spec.D)
+	res := radio.RunProtocolOn(e, proto, r.maxRounds, rng)
+	listens := r.counters.Successes + r.counters.Collisions + r.counters.Silent
+	if listens == 0 {
+		return 0, res.Completed
+	}
+	return float64(r.counters.Collisions) / float64(listens), res.Completed
+}

@@ -44,8 +44,10 @@ func Variance(xs []float64) float64 {
 func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
 
 // Quantile returns the q-th quantile (0 <= q <= 1) using linear
-// interpolation between order statistics. It returns NaN for empty input
-// and panics for q outside [0,1].
+// interpolation between order statistics. Edge cases are part of the
+// contract (see TestQuantileEdgeCases): empty input returns NaN for every
+// q, a single-element sample returns that element for every q, and q
+// outside [0,1] panics.
 func Quantile(xs []float64, q float64) float64 {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("stats: quantile %v out of [0,1]", q))
@@ -88,7 +90,11 @@ type Summary struct {
 	MeanErrorHalfWide float64 // half-width of that CI
 }
 
-// Summarize computes a Summary. For N < 2 the dispersion fields are NaN.
+// Summarize computes a Summary. Edge cases are part of the contract (see
+// TestSummarizeEdgeCases): for empty input every float field is NaN and
+// N is 0; for a single element the location fields (Mean, Min, Median,
+// Max, P10, P90) all equal that element while the dispersion fields
+// (StdDev, CILow, CIHigh, MeanErrorHalfWide) are NaN.
 func Summarize(xs []float64) Summary {
 	s := Summary{N: len(xs)}
 	if len(xs) == 0 {
@@ -124,9 +130,12 @@ func Summarize(xs []float64) Summary {
 }
 
 // BootstrapCI returns a percentile bootstrap 95% confidence interval for
-// the mean using the given number of resamples.
+// the mean using the given number of resamples. Edge cases are part of
+// the contract (see TestBootstrapCIEdgeCases): empty input, fewer than
+// two resamples, or a nil generator return (NaN, NaN) without drawing,
+// and a single-element sample returns the degenerate interval (x, x).
 func BootstrapCI(xs []float64, resamples int, rng *xrand.Rand) (lo, hi float64) {
-	if len(xs) == 0 || resamples < 2 {
+	if len(xs) == 0 || resamples < 2 || rng == nil {
 		return math.NaN(), math.NaN()
 	}
 	means := make([]float64, resamples)

@@ -16,6 +16,24 @@ import (
 // returns one scalar measurement.
 type Trial func(rng *xrand.Rand) float64
 
+// Seeds returns the per-trial seeds that Run and RunWith derive from
+// baseSeed: trial i uses xrand.New(baseSeed).DeriveSeed(i+1). The mapping
+// is the repository-wide convention for fanning one base seed out to
+// independent trials — the campaign runner uses it so a campaign point
+// with the same base seed replays exactly the trials a sweep would run,
+// regardless of worker count, interruption or resume order.
+func Seeds(trials int, baseSeed uint64) []uint64 {
+	if trials <= 0 {
+		return nil
+	}
+	parent := xrand.New(baseSeed)
+	out := make([]uint64, trials)
+	for i := range out {
+		out[i] = parent.DeriveSeed(uint64(i) + 1)
+	}
+	return out
+}
+
 // Run executes the trial `trials` times with seeds derived from baseSeed
 // and returns the measurements ordered by trial index. Trials run
 // concurrently on up to GOMAXPROCS goroutines.
@@ -48,12 +66,11 @@ func RunWith[C any](trials int, baseSeed uint64, newCtx func() C, trial func(rng
 	if workers < 1 {
 		workers = 1
 	}
-	parent := xrand.New(baseSeed)
 	// Pre-derive seeds sequentially so results are independent of worker
 	// interleaving.
 	rngs := make([]*xrand.Rand, trials)
-	for i := range rngs {
-		rngs[i] = parent.Derive(uint64(i) + 1)
+	for i, seed := range Seeds(trials, baseSeed) {
+		rngs[i] = xrand.New(seed)
 	}
 	if workers == 1 {
 		ctx := newCtx()
@@ -106,10 +123,9 @@ func RunObserved[C any](trials int, baseSeed uint64, newCtx func() C, newObs fun
 	if workers < 1 {
 		workers = 1
 	}
-	parent := xrand.New(baseSeed)
 	rngs := make([]*xrand.Rand, trials)
-	for i := range rngs {
-		rngs[i] = parent.Derive(uint64(i) + 1)
+	for i, seed := range Seeds(trials, baseSeed) {
+		rngs[i] = xrand.New(seed)
 	}
 	observers := make([]trace.Observer, workers)
 	if workers == 1 {

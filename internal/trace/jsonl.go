@@ -6,6 +6,51 @@ import (
 	"io"
 )
 
+// LineEncoder writes arbitrary records as JSON Lines: one Encode call,
+// one JSON object, one line. Writes are buffered and the encoder is
+// error-sticky — after the first marshal or write error every further
+// Encode is a no-op and Err reports the first failure. It is the shared
+// plumbing of JSONLWriter and the campaign checkpoint writer; any code
+// that streams records to disk in this repository should use it rather
+// than reimplementing buffered line-oriented JSON.
+type LineEncoder struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewLineEncoder returns a LineEncoder streaming to w.
+func NewLineEncoder(w io.Writer) *LineEncoder {
+	return &LineEncoder{w: bufio.NewWriter(w)}
+}
+
+// Encode marshals v and writes it as one line.
+func (e *LineEncoder) Encode(v interface{}) {
+	if e.err != nil {
+		return
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		e.err = err
+		return
+	}
+	if _, err := e.w.Write(line); err != nil {
+		e.err = err
+		return
+	}
+	e.err = e.w.WriteByte('\n')
+}
+
+// Flush writes out any buffered lines and returns the first error seen.
+func (e *LineEncoder) Flush() error {
+	if err := e.w.Flush(); err != nil && e.err == nil {
+		e.err = err
+	}
+	return e.err
+}
+
+// Err returns the first error encountered while encoding or writing.
+func (e *LineEncoder) Err() error { return e.err }
+
 // JSONLWriter is an Observer that streams a run as JSON Lines: one
 // "begin" record, one record per round, one "end" record. Each line is a
 // single JSON object whose "type" field is "begin", "round" or "end"; the
@@ -17,8 +62,7 @@ import (
 // rounds manually, and check Err once the run is over: the writer is
 // error-sticky and stops writing after the first underlying write error.
 type JSONLWriter struct {
-	w   *bufio.Writer
-	err error
+	enc *LineEncoder
 	// RoundsOnly suppresses the begin/end lines, leaving exactly one line
 	// per executed round.
 	RoundsOnly bool
@@ -26,7 +70,7 @@ type JSONLWriter struct {
 
 // NewJSONLWriter returns a JSONL writer streaming to w.
 func NewJSONLWriter(w io.Writer) *JSONLWriter {
-	return &JSONLWriter{w: bufio.NewWriter(w)}
+	return &JSONLWriter{enc: NewLineEncoder(w)}
 }
 
 type jsonlBegin struct {
@@ -44,54 +88,29 @@ type jsonlEnd struct {
 	Summary
 }
 
-func (j *JSONLWriter) emit(v interface{}) {
-	if j.err != nil {
-		return
-	}
-	line, err := json.Marshal(v)
-	if err != nil {
-		j.err = err
-		return
-	}
-	if _, err := j.w.Write(line); err != nil {
-		j.err = err
-		return
-	}
-	j.err = j.w.WriteByte('\n')
-}
-
 // BeginRun implements Observer.
 func (j *JSONLWriter) BeginRun(info RunInfo) {
 	if j.RoundsOnly {
 		return
 	}
-	j.emit(jsonlBegin{Type: "begin", RunInfo: info})
+	j.enc.Encode(jsonlBegin{Type: "begin", RunInfo: info})
 }
 
 // Round implements Observer.
 func (j *JSONLWriter) Round(r RoundRecord) {
-	j.emit(jsonlRound{Type: "round", RoundRecord: r})
+	j.enc.Encode(jsonlRound{Type: "round", RoundRecord: r})
 }
 
 // EndRun implements Observer.
 func (j *JSONLWriter) EndRun(s Summary) {
 	if !j.RoundsOnly {
-		j.emit(jsonlEnd{Type: "end", Summary: s})
+		j.enc.Encode(jsonlEnd{Type: "end", Summary: s})
 	}
-	j.flush()
-}
-
-func (j *JSONLWriter) flush() {
-	if err := j.w.Flush(); err != nil && j.err == nil {
-		j.err = err
-	}
+	j.enc.Flush()
 }
 
 // Flush writes out any buffered lines.
-func (j *JSONLWriter) Flush() error {
-	j.flush()
-	return j.err
-}
+func (j *JSONLWriter) Flush() error { return j.enc.Flush() }
 
 // Err returns the first error encountered while writing, if any.
-func (j *JSONLWriter) Err() error { return j.err }
+func (j *JSONLWriter) Err() error { return j.enc.Err() }
