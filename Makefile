@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint bench experiments verify cover race campaign-smoke clean
+.PHONY: all build test vet lint bench experiments verify cover race campaign-smoke fuzz-smoke clean
 
 all: build vet test
 
@@ -48,6 +48,15 @@ campaign-smoke:
 	go run ./cmd/campaign report -out /tmp/campaign-smoke/ck -json > /tmp/campaign-smoke/offline.json
 	cmp /tmp/campaign-smoke/full.json /tmp/campaign-smoke/offline.json
 	@echo "campaign-smoke: resume converged to the uninterrupted report"
+
+# Short mutation run of every native fuzz target (go's one-fuzz-target-
+# per-invocation limit forces the loop). The checked-in seed corpora under
+# testdata/fuzz run on every plain `go test`; this additionally mutates.
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzGraphBuild$$' -fuzztime 10s ./internal/graph/
+	go test -run '^$$' -fuzz '^FuzzSubgraph$$' -fuzztime 10s ./internal/graph/
+	go test -run '^$$' -fuzz '^FuzzReadSchedule$$' -fuzztime 10s ./internal/radio/
+	go test -run '^$$' -fuzz '^FuzzLoadSamples$$' -fuzztime 10s ./internal/campaign/
 
 clean:
 	go clean ./...

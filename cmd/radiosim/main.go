@@ -15,6 +15,10 @@
 //
 //	radiosim -n 1000 -d 15 -json | jq .rounds
 //
+// On failure in -json mode stdout stays empty — diagnostics go to stderr
+// and the exit status is nonzero — so `radiosim -json | jq` can never
+// feed half a summary into a pipeline.
+//
 // -cpuprofile and -memprofile write pprof profiles
 // covering the simulation (graph sampling through completion), for
 // hot-path work on the engine:
@@ -29,6 +33,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -77,144 +82,179 @@ type summary struct {
 	BoundDistributed float64 `json:"bound_distributed"`
 }
 
+// errUsage marks command-line errors (exit status 2, like flag's own).
+var errUsage = errors.New("usage error")
+
 func main() {
-	n := flag.Int("n", 10000, "number of nodes")
-	d := flag.Float64("d", 20, "expected average degree d = pn")
-	algo := flag.String("algo", "distributed", "algorithm: distributed, centralized, decay, aloha")
-	src := flag.Int("src", 0, "broadcast source vertex")
-	seed := flag.Uint64("seed", 1, "random seed")
-	showTrace := flag.Bool("trace", false, "print per-round informed counts")
-	traceOut := flag.String("trace-out", "", "write per-round records as JSON Lines to this file")
-	saveSched := flag.String("save-schedule", "", "write the centralized schedule to this file")
-	jsonOut := flag.Bool("json", false, "print one machine-readable JSON summary object instead of text")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+	// All real work lives in run so its defers — profile flushing, file
+	// closes — execute before the process exits (os.Exit here would skip
+	// any defer still pending, silently truncating a -cpuprofile).
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
+		}
+		if errors.Is(err, errUsage) || errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes one simulation. In -json mode stdout carries exactly one
+// JSON summary object — or, on error, nothing at all: every failure path
+// returns before the summary is marshalled, diagnostics go to stderr via
+// the returned error, and the human-readable chatter was already routed
+// to stderr.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("radiosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 10000, "number of nodes")
+	d := fs.Float64("d", 20, "expected average degree d = pn")
+	algo := fs.String("algo", "distributed", "algorithm: distributed, centralized, decay, aloha")
+	src := fs.Int("src", 0, "broadcast source vertex")
+	seed := fs.Uint64("seed", 1, "random seed")
+	showTrace := fs.Bool("trace", false, "print per-round informed counts")
+	traceOut := fs.String("trace-out", "", "write per-round records as JSON Lines to this file")
+	saveSched := fs.String("save-schedule", "", "write the centralized schedule to this file")
+	jsonOut := fs.Bool("json", false, "print one machine-readable JSON summary object instead of text")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return fmt.Errorf("%w: %v", errUsage, err)
+	}
 
 	// In -json mode stdout carries exactly one JSON object; everything
 	// human-readable (progress, traces, sparkline) moves to stderr.
-	out := io.Writer(os.Stdout)
+	out := stdout
 	if *jsonOut {
-		out = os.Stderr
+		out = stderr
 	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer pprof.StopCPUProfile()
 	}
+	var memProfErr error
 	if *memProfile != "" {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-				os.Exit(1)
+				memProfErr = err
+				return
 			}
 			defer f.Close()
 			runtime.GC() // settle live objects before the heap snapshot
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-				os.Exit(1)
+				memProfErr = err
 			}
 		}()
 	}
+	err := simulate(out, stdout,
+		*n, *d, *algo, *src, *seed, *showTrace, *traceOut, *saveSched, *jsonOut)
+	if err != nil {
+		return err
+	}
+	return memProfErr
+}
 
-	rng := xrand.New(*seed)
-	fmt.Fprintf(out, "sampling connected G(n=%d, p=d/n) with d=%.1f ...\n", *n, *d)
-	g, tries, ok := gen.ConnectedGnp(*n, gen.PForDegree(*n, *d), rng, 100)
+// simulate is the body of run, split out so the heap-profile defer in run
+// brackets the whole simulation.
+func simulate(out, stdout io.Writer,
+	n int, d float64, algo string, src int, seed uint64,
+	showTrace bool, traceOut, saveSched string, jsonOut bool) error {
+	rng := xrand.New(seed)
+	fmt.Fprintf(out, "sampling connected G(n=%d, p=d/n) with d=%.1f ...\n", n, d)
+	g, tries, ok := gen.ConnectedGnp(n, gen.PForDegree(n, d), rng, 100)
 	if !ok {
-		fmt.Fprintln(os.Stderr, "radiosim: could not sample a connected graph; increase -d")
-		os.Exit(1)
+		return errors.New("could not sample a connected graph; increase -d")
+	}
+	if src < 0 || src >= g.N() {
+		return fmt.Errorf("%w: -src %d outside [0,%d)", errUsage, src, g.N())
 	}
 	st := g.Degrees()
-	ecc := graph.Eccentricity(g, int32(*src))
+	ecc := graph.Eccentricity(g, int32(src))
 	fmt.Fprintf(out, "graph: %v  (attempt %d, degrees min=%d mean=%.1f max=%d, source ecc=%d)\n",
 		g, tries, st.Min, st.Mean, st.Max, ecc)
 
 	var jw *trace.JSONLWriter
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		jw = trace.NewJSONLWriter(f)
 	}
 
 	var res radio.TracedResult
-	switch *algo {
+	switch algo {
 	case "centralized":
-		sched, tr, err := core.BuildCentralizedSchedule(g, int32(*src), *d, core.DefaultCentralizedConfig(*seed))
+		sched, tr, err := core.BuildCentralizedSchedule(g, int32(src), d, core.DefaultCentralizedConfig(seed))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(out, "schedule phases: %s\n", tr)
-		if *saveSched != "" {
-			f, err := os.Create(*saveSched)
+		if saveSched != "" {
+			f, err := os.Create(saveSched)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-				os.Exit(1)
+				return err
 			}
 			if _, err := sched.WriteTo(f); err != nil {
-				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-				os.Exit(1)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-				os.Exit(1)
+				return err
 			}
-			fmt.Fprintf(out, "schedule written to %s\n", *saveSched)
+			fmt.Fprintf(out, "schedule written to %s\n", saveSched)
 		}
-		e := radio.NewEngine(g, int32(*src), radio.StrictInformed)
+		e := radio.NewEngine(g, int32(src), radio.StrictInformed)
 		if jw != nil {
 			e.Attach(jw)
 		}
 		res, err = radio.ExecuteScheduleTrace(e, sched)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	case "distributed", "decay", "aloha":
 		var p radio.Protocol
-		switch *algo {
+		switch algo {
 		case "distributed":
-			p = core.NewDistributedProtocol(*n, *d)
+			p = core.NewDistributedProtocol(n, d)
 		case "decay":
-			p = protocols.NewDecay(*n)
+			p = protocols.NewDecay(n)
 		case "aloha":
-			p = protocols.NewAloha(*d)
+			p = protocols.NewAloha(d)
 		}
-		e := radio.NewEngine(g, int32(*src), radio.StrictInformed)
+		e := radio.NewEngine(g, int32(src), radio.StrictInformed)
 		if jw != nil {
 			e.Attach(jw)
 		}
-		res = radio.RunProtocolTrace(e, p, core.MaxRoundsFor(*n), rng)
+		res = radio.RunProtocolTrace(e, p, core.MaxRoundsFor(n), rng)
 	default:
-		fmt.Fprintf(os.Stderr, "radiosim: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+		return fmt.Errorf("%w: unknown algorithm %q", errUsage, algo)
 	}
 
-	if *showTrace {
+	if showTrace {
 		for _, rec := range res.Trace {
 			fmt.Fprintln(out, rec)
 		}
 	}
 	if jw != nil {
 		if err := jw.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: writing %s: %v\n", *traceOut, err)
-			os.Exit(1)
+			return fmt.Errorf("writing %s: %w", traceOut, err)
 		}
-		fmt.Fprintf(out, "trace written to %s (%d records)\n", *traceOut, len(res.Trace))
+		fmt.Fprintf(out, "trace written to %s (%d records)\n", traceOut, len(res.Trace))
 	}
 	if len(res.Trace) > 1 {
 		curve := make([]float64, len(res.Trace))
@@ -224,14 +264,14 @@ func main() {
 		fmt.Fprintf(out, "\nprogress %s (informed per round)\n", viz.Sparkline(curve))
 	}
 
-	if *jsonOut {
+	if jsonOut {
 		b, err := json.MarshalIndent(summary{
-			Algo:               *algo,
+			Algo:               algo,
 			N:                  g.N(),
 			M:                  g.M(),
-			D:                  *d,
-			Src:                *src,
-			Seed:               *seed,
+			D:                  d,
+			Src:                src,
+			Seed:               seed,
 			Attempts:           tries,
 			DegreeMin:          st.Min,
 			DegreeMean:         st.Mean,
@@ -243,19 +283,19 @@ func main() {
 			Transmissions:      res.Stats.Transmissions,
 			Deliveries:         res.Stats.Deliveries,
 			Collisions:         res.Stats.Collisions,
-			BoundCentralized:   core.CentralizedBound(*n, *d),
-			BoundDistributed:   core.DistributedBound(*n),
+			BoundCentralized:   core.CentralizedBound(n, d),
+			BoundDistributed:   core.DistributedBound(n),
 		}, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "radiosim: %v\n", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Println(string(b))
-		return
+		fmt.Fprintln(stdout, string(b))
+		return nil
 	}
-	fmt.Printf("\ncompleted=%v rounds=%d informed=%d/%d\n", res.Completed, res.Rounds, res.Informed, res.N)
-	fmt.Printf("stats: %d transmissions, %d clean deliveries, %d collisions\n",
+	fmt.Fprintf(stdout, "\ncompleted=%v rounds=%d informed=%d/%d\n", res.Completed, res.Rounds, res.Informed, res.N)
+	fmt.Fprintf(stdout, "stats: %d transmissions, %d clean deliveries, %d collisions\n",
 		res.Stats.Transmissions, res.Stats.Deliveries, res.Stats.Collisions)
-	fmt.Printf("bounds: centralized %.1f, distributed (ln n) %.1f\n",
-		core.CentralizedBound(*n, *d), core.DistributedBound(*n))
+	fmt.Fprintf(stdout, "bounds: centralized %.1f, distributed (ln n) %.1f\n",
+		core.CentralizedBound(n, d), core.DistributedBound(n))
+	return nil
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes run in-process and returns captured stdout, stderr and
+// the error — the same three observables a shell pipeline sees.
+func runCLI(t *testing.T, args ...string) (stdout, stderr string, err error) {
+	t.Helper()
+	var o, e bytes.Buffer
+	err = run(args, &o, &e)
+	return o.String(), e.String(), err
+}
+
+// TestJSONModeStdoutIsPureJSON is the contract `radiosim -json | jq`
+// relies on: stdout holds exactly one parseable JSON object, all the
+// human-readable chatter lands on stderr.
+func TestJSONModeStdoutIsPureJSON(t *testing.T) {
+	for _, algo := range []string{"distributed", "centralized", "decay", "aloha"} {
+		t.Run(algo, func(t *testing.T) {
+			stdout, stderr, err := runCLI(t,
+				"-n", "60", "-d", "8", "-seed", "3", "-algo", algo, "-json", "-trace")
+			if err != nil {
+				t.Fatalf("run failed: %v\nstderr:\n%s", err, stderr)
+			}
+			var s summary
+			dec := json.NewDecoder(strings.NewReader(stdout))
+			if err := dec.Decode(&s); err != nil {
+				t.Fatalf("stdout is not JSON: %v\nstdout:\n%s", err, stdout)
+			}
+			if dec.More() {
+				t.Fatalf("stdout holds more than one JSON value:\n%s", stdout)
+			}
+			if s.Algo != algo || s.N != 60 || s.Seed != 3 {
+				t.Fatalf("summary echoes wrong inputs: %+v", s)
+			}
+			if !s.Completed || s.Informed != s.N {
+				t.Fatalf("broadcast should complete on n=60 d=8: %+v", s)
+			}
+			if stderr == "" {
+				t.Fatal("chatter (sampling/graph lines) should go to stderr in -json mode")
+			}
+		})
+	}
+}
+
+// TestJSONModeErrorsLeaveStdoutEmpty pins the error contract: any failure
+// must produce an error (nonzero exit in main) and an EMPTY stdout, so a
+// downstream consumer never parses half a summary.
+func TestJSONModeErrorsLeaveStdoutEmpty(t *testing.T) {
+	cases := []struct {
+		name  string
+		args  []string
+		usage bool // should map to exit status 2
+	}{
+		{"unknown-algo", []string{"-n", "20", "-d", "5", "-json", "-algo", "nope"}, true},
+		{"src-out-of-range", []string{"-n", "20", "-d", "5", "-json", "-src", "99"}, true},
+		{"unsampleable", []string{"-n", "200", "-d", "0.05", "-json"}, false},
+		{"bad-flag", []string{"-json", "-n", "not-a-number"}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, _, err := runCLI(t, tc.args...)
+			if err == nil {
+				t.Fatal("want an error")
+			}
+			if stdout != "" {
+				t.Fatalf("stdout must stay empty on failure, got:\n%s", stdout)
+			}
+			if got := errors.Is(err, errUsage); got != tc.usage && tc.name != "bad-flag" {
+				t.Fatalf("errors.Is(err, errUsage) = %v, want %v (err: %v)", got, tc.usage, err)
+			}
+		})
+	}
+}
+
+// TestTextMode sanity-checks the default human output still works and
+// lands on stdout.
+func TestTextMode(t *testing.T) {
+	stdout, _, err := runCLI(t, "-n", "40", "-d", "8", "-seed", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "completed=true") || !strings.Contains(stdout, "bounds:") {
+		t.Fatalf("unexpected text output:\n%s", stdout)
+	}
+}
+
+// TestSaveScheduleAndTraceOut exercises the file-writing paths through
+// run so their defers (closes) are covered.
+func TestSaveScheduleAndTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	sched := filepath.Join(dir, "sched.txt")
+	trc := filepath.Join(dir, "trace.jsonl")
+	stdout, _, err := runCLI(t,
+		"-n", "40", "-d", "8", "-seed", "2", "-algo", "centralized",
+		"-json", "-save-schedule", sched, "-trace-out", trc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s summary
+	if err := json.Unmarshal([]byte(stdout), &s); err != nil {
+		t.Fatalf("stdout not JSON with -save-schedule/-trace-out: %v", err)
+	}
+}

@@ -193,7 +193,7 @@ func TestRetriesAreBoundedAndRecorded(t *testing.T) {
 	if _, err := Run(spec, Options{Workers: 2, Dir: dir}); err != nil {
 		t.Fatal(err)
 	}
-	_, samples, err := LoadSamples(dir)
+	_, samples, _, err := LoadSamples(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,11 +293,15 @@ func TestCheckpointToleratesTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Resume reruns the torn trial (it is deterministic) and converges to
-	// the identical report.
+	// the identical report, while surfacing that one line was skipped.
 	resumed, err := Run(spec, Options{Dir: dir, Resume: true})
 	if err != nil {
 		t.Fatal(err)
 	}
+	if resumed.SkippedLines != 1 {
+		t.Errorf("resumed report SkippedLines = %d, want the torn line counted", resumed.SkippedLines)
+	}
+	resumed.SkippedLines = 0 // metadata, not measurement: the data must match exactly
 	if string(reportJSON(t, full)) != string(reportJSON(t, resumed)) {
 		t.Error("report after torn-tail resume differs from the clean run")
 	}

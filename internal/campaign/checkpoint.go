@@ -84,6 +84,7 @@ type Checkpoint struct {
 	files    []*os.File
 	encs     []*trace.LineEncoder
 	recorded int
+	skipped  int // corrupt shard lines skipped on open (resume only)
 }
 
 // CreateCheckpoint initialises dir (creating it if needed) for a fresh
@@ -117,8 +118,9 @@ func CreateCheckpoint(dir string, spec *Spec) (*Checkpoint, error) {
 
 // OpenCheckpoint opens an existing checkpoint directory for appending
 // (resume). It verifies the spec hash and returns the deduplicated
-// samples already recorded; parse errors in a shard's tail (a line torn
-// by a crash) are tolerated and the affected records simply rerun.
+// samples already recorded; corrupt lines anywhere in a shard (a line
+// torn by a crash, disk corruption) are skipped and counted — see
+// Checkpoint.SkippedLines — and the affected records simply rerun.
 func OpenCheckpoint(dir string, spec *Spec) (*Checkpoint, map[key]*Sample, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
@@ -128,11 +130,11 @@ func OpenCheckpoint(dir string, spec *Spec) (*Checkpoint, map[key]*Sample, error
 		return nil, nil, fmt.Errorf("campaign: checkpoint %s was recorded under spec hash %s, current spec hashes to %s; seeds are tied to the spec, refusing to resume",
 			dir, m.SpecHash, spec.Hash())
 	}
-	samples, err := loadSamples(dir, m, spec)
+	samples, skipped, err := loadSamples(dir, m, spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &Checkpoint{dir: dir, spec: spec, recorded: len(samples)}
+	c := &Checkpoint{dir: dir, spec: spec, recorded: len(samples), skipped: skipped}
 	for i := 0; i < spec.shards(); i++ {
 		f, err := os.OpenFile(filepath.Join(dir, shardName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -165,25 +167,36 @@ func ReadManifest(dir string) (*Manifest, error) {
 }
 
 // LoadSamples returns the deduplicated samples recorded in a checkpoint
-// directory, keyed for the aggregator, using the manifest's own spec.
-func LoadSamples(dir string) (*Manifest, map[key]*Sample, error) {
+// directory, keyed for the aggregator, using the manifest's own spec,
+// plus the number of corrupt lines the loader skipped (see loadSamples).
+func LoadSamples(dir string) (*Manifest, map[key]*Sample, int, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	samples, err := loadSamples(dir, m, m.Spec)
-	return m, samples, err
+	samples, skipped, err := loadSamples(dir, m, m.Spec)
+	return m, samples, skipped, err
 }
 
-func loadSamples(dir string, m *Manifest, spec *Spec) (map[key]*Sample, error) {
+// loadSamples reads every shard and returns the deduplicated samples
+// plus the number of lines it had to skip. A skipped line is any record
+// the loader cannot trust — unparseable JSON (a line torn by a crash
+// mid-append, or disk corruption anywhere in the file), coordinates
+// outside the spec grid, or a point id that contradicts the (already
+// hash-verified) spec. Skipping instead of aborting keeps a multi-hour
+// campaign resumable after a single bad line: the skipped trials simply
+// rerun, and callers surface the count so silent corruption is still
+// visible in the report.
+func loadSamples(dir string, m *Manifest, spec *Spec) (map[key]*Sample, int, error) {
 	samples := make(map[key]*Sample)
+	skipped := 0
 	for _, name := range m.Shards {
 		f, err := os.Open(filepath.Join(dir, name))
 		if err != nil {
 			if os.IsNotExist(err) {
 				continue // manifest ahead of a crashed shard create
 			}
-			return nil, fmt.Errorf("campaign: opening shard: %w", err)
+			return nil, skipped, fmt.Errorf("campaign: opening shard: %w", err)
 		}
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -194,17 +207,16 @@ func loadSamples(dir string, m *Manifest, spec *Spec) (map[key]*Sample, error) {
 			}
 			var s Sample
 			if err := json.Unmarshal(line, &s); err != nil {
-				// A torn tail line from a crash mid-append: everything up
-				// to it is intact, the torn trial simply reruns.
-				break
+				skipped++
+				continue
 			}
 			if s.Point < 0 || s.Point >= len(spec.Points) || s.Trial < 0 || s.Trial >= spec.Trials {
-				f.Close()
-				return nil, fmt.Errorf("campaign: shard %s: sample (point %d, trial %d) outside the spec grid", name, s.Point, s.Trial)
+				skipped++
+				continue
 			}
 			if s.PointID != spec.Points[s.Point].ID {
-				f.Close()
-				return nil, fmt.Errorf("campaign: shard %s: sample for point %d records id %q, spec says %q", name, s.Point, s.PointID, spec.Points[s.Point].ID)
+				skipped++
+				continue
 			}
 			cp := s
 			samples[key{s.Point, s.Trial}] = &cp
@@ -212,10 +224,10 @@ func loadSamples(dir string, m *Manifest, spec *Spec) (map[key]*Sample, error) {
 		err = sc.Err()
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("campaign: scanning shard %s: %w", name, err)
+			return nil, skipped, fmt.Errorf("campaign: scanning shard %s: %w", name, err)
 		}
 	}
-	return samples, nil
+	return samples, skipped, nil
 }
 
 // Append records one sample in its shard. The write is buffered; Flush
@@ -228,6 +240,11 @@ func (c *Checkpoint) Append(s *Sample) {
 // Recorded returns the number of samples recorded (including any loaded
 // on open).
 func (c *Checkpoint) Recorded() int { return c.recorded }
+
+// SkippedLines returns the number of corrupt shard lines the loader
+// skipped when this checkpoint was opened for resume (0 for a fresh
+// checkpoint).
+func (c *Checkpoint) SkippedLines() int { return c.skipped }
 
 // Flush persists buffered samples and atomically rewrites the manifest.
 // complete marks the campaign finished.
@@ -294,7 +311,7 @@ func Merge(dst string, srcs []string) (*Manifest, error) {
 	var hash string
 	all := make(map[key]*Sample)
 	for _, src := range srcs {
-		m, samples, err := LoadSamples(src)
+		m, samples, _, err := LoadSamples(src)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,170 @@
+package campaign
+
+// Fuzz target and regression tests for the checkpoint sample loader. A
+// checkpoint shard is written incrementally by a process that may die at
+// any byte, and sits on disks that corrupt files; the loader's contract
+// is therefore: never panic, never refuse a resume because of bad lines,
+// skip exactly the untrustworthy records and count them.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fuzzSpec is a small fixed grid the fuzzed shard content is loaded
+// against.
+func fuzzSpec() *Spec {
+	return &Spec{
+		Name:   "fuzz",
+		Seed:   1,
+		Trials: 4,
+		Shards: 1,
+		Points: []PointSpec{
+			{ID: "a", X: 1, Trial: TrialSpec{Kind: "decay", N: 8, D: 2}},
+			{ID: "b", X: 2, Trial: TrialSpec{Kind: "decay", N: 8, D: 2}},
+		},
+	}
+}
+
+// writeCheckpointDir materialises a checkpoint directory whose single
+// shard holds exactly content.
+func writeCheckpointDir(t testing.TB, content []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	spec := fuzzSpec()
+	c, err := CreateCheckpoint(dir, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, shardName(0)), content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+const goodLine = `{"point":0,"id":"a","trial":0,"seed":7,"value":3,"ok":true}`
+
+func FuzzLoadSamples(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte(goodLine + "\n"))
+	f.Add([]byte(goodLine + "\n{\"point\":0,\"id\":\"a\",\"tr")) // torn tail
+	f.Add([]byte("garbage\n" + goodLine + "\n"))                 // corrupt line mid-file
+	f.Add([]byte(`{"point":9,"id":"a","trial":0}` + "\n"))       // out of grid
+	f.Add([]byte(`{"point":0,"id":"WRONG","trial":0}` + "\n"))   // id mismatch
+	f.Add([]byte(`{"point":0,"id":"a","trial":-1}` + "\n"))      // negative trial
+	f.Add([]byte("\x00\xff\xfe\n" + goodLine))
+	f.Fuzz(func(t *testing.T, content []byte) {
+		dir := writeCheckpointDir(t, content)
+		m, samples, skipped, err := LoadSamples(dir)
+		if err != nil {
+			// Only I/O-level failures may error; shard content never does.
+			t.Fatalf("LoadSamples errored on plain content %q: %v", content, err)
+		}
+		if m == nil {
+			t.Fatal("nil manifest without error")
+		}
+		lines := 0
+		for _, l := range bytes.Split(content, []byte("\n")) {
+			if len(l) > 0 {
+				lines++
+			}
+		}
+		if len(samples)+skipped > lines {
+			t.Fatalf("accounted %d samples + %d skipped out of %d non-empty lines",
+				len(samples), skipped, lines)
+		}
+		spec := fuzzSpec()
+		for k, s := range samples {
+			if s.Point != k.point || s.Trial != k.trial {
+				t.Fatalf("sample keyed (%d,%d) holds (%d,%d)", k.point, k.trial, s.Point, s.Trial)
+			}
+			if s.Point < 0 || s.Point >= len(spec.Points) || s.Trial < 0 || s.Trial >= spec.Trials {
+				t.Fatalf("out-of-grid sample survived the load: %+v", s)
+			}
+			if s.PointID != spec.Points[s.Point].ID {
+				t.Fatalf("mismatched point id survived the load: %+v", s)
+			}
+		}
+	})
+}
+
+// TestLoadSamplesSkipsMidFileCorruption pins the skip-and-count fix: a
+// corrupt line in the middle of a shard must not discard the intact
+// records after it (the loader used to stop at the first bad line,
+// silently rerunning every later trial).
+func TestLoadSamplesSkipsMidFileCorruption(t *testing.T) {
+	content := strings.Join([]string{
+		`{"point":0,"id":"a","trial":0,"seed":7,"value":3,"ok":true}`,
+		`CORRUPT {not json`,
+		`{"point":0,"id":"a","trial":1,"seed":8,"value":4,"ok":true}`,
+		`{"point":1,"id":"b","trial":0,"seed":9,"value":5,"ok":true}`,
+	}, "\n") + "\n"
+	dir := writeCheckpointDir(t, []byte(content))
+
+	_, samples, skipped, err := LoadSamples(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped = %d, want 1", skipped)
+	}
+	if len(samples) != 3 {
+		t.Fatalf("loaded %d samples, want the 3 intact ones", len(samples))
+	}
+	for _, k := range []key{{0, 0}, {0, 1}, {1, 0}} {
+		if samples[k] == nil {
+			t.Fatalf("intact sample %v lost after corrupt line", k)
+		}
+	}
+
+	// The report surfaces the count.
+	r, err := ReportDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SkippedLines != 1 {
+		t.Fatalf("report.SkippedLines = %d, want 1", r.SkippedLines)
+	}
+	if !strings.Contains(r.Text(), "skipped 1 corrupt checkpoint line") {
+		t.Fatalf("report text does not surface the skip:\n%s", r.Text())
+	}
+
+	// Resume path: OpenCheckpoint tolerates and counts too.
+	c, resumed, err := OpenCheckpoint(dir, fuzzSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.SkippedLines() != 1 || len(resumed) != 3 {
+		t.Fatalf("resume: skipped=%d samples=%d, want 1 and 3", c.SkippedLines(), len(resumed))
+	}
+}
+
+// TestLoadSamplesSkipsUntrustedCoordinates pins the other skip classes:
+// grid coordinates outside the spec and point ids contradicting it are
+// counted, not fatal.
+func TestLoadSamplesSkipsUntrustedCoordinates(t *testing.T) {
+	content := strings.Join([]string{
+		`{"point":5,"id":"a","trial":0}`,  // point out of grid
+		`{"point":0,"id":"a","trial":99}`, // trial out of grid
+		`{"point":0,"id":"b","trial":0}`,  // id belongs to the other point
+		goodLine,
+	}, "\n") + "\n"
+	dir := writeCheckpointDir(t, []byte(content))
+	_, samples, skipped, err := LoadSamples(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 3 || len(samples) != 1 {
+		t.Fatalf("skipped=%d samples=%d, want 3 and 1", skipped, len(samples))
+	}
+}

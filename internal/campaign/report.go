@@ -177,9 +177,14 @@ type Report struct {
 	Trials   int    `json:"trials"`
 	// Complete reports every point finished; SavedTrials totals the
 	// budget skipped by adaptive stopping.
-	Complete    bool          `json:"complete"`
-	SavedTrials int           `json:"saved_trials"`
-	Points      []PointReport `json:"points"`
+	Complete    bool `json:"complete"`
+	SavedTrials int  `json:"saved_trials"`
+	// SkippedLines counts corrupt checkpoint lines the loader had to skip
+	// when this report was built from (or resumed off) a checkpoint
+	// directory. Nonzero means the shards hold records that could not be
+	// trusted; the affected trials were rerun or excluded.
+	SkippedLines int           `json:"skipped_lines,omitempty"`
+	Points       []PointReport `json:"points"`
 }
 
 // BuildReport aggregates recorded samples into the campaign report by
@@ -222,14 +227,16 @@ func BuildReport(spec *Spec, samples map[key]*Sample) *Report {
 // yields a report with Complete false and per-point Consumed counts
 // reflecting the recorded prefix.
 func ReportDir(dir string) (*Report, error) {
-	m, samples, err := LoadSamples(dir)
+	m, samples, skipped, err := LoadSamples(dir)
 	if err != nil {
 		return nil, err
 	}
 	if err := m.Spec.Validate(); err != nil {
 		return nil, err
 	}
-	return BuildReport(m.Spec, samples), nil
+	r := BuildReport(m.Spec, samples)
+	r.SkippedLines = skipped
+	return r, nil
 }
 
 // report snapshots the aggregation state into a PointReport.
@@ -291,6 +298,9 @@ func (r *Report) Text() string {
 		r.Name, r.Seed, r.Trials, status)
 	if r.SavedTrials > 0 {
 		fmt.Fprintf(&b, "adaptive stopping saved %d trials\n", r.SavedTrials)
+	}
+	if r.SkippedLines > 0 {
+		fmt.Fprintf(&b, "WARNING: skipped %d corrupt checkpoint line(s); affected trials rerun or excluded\n", r.SkippedLines)
 	}
 	fmt.Fprintf(&b, "%-18s %10s %9s %5s %4s %9s %9s %9s %9s %9s %14s\n",
 		"point", "x", "kind", "n/bud", "fail", "mean", "±ci95", "p10", "median", "p90", "ok (wilson95)")

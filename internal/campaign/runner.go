@@ -228,6 +228,9 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 
 	report := BuildReport(spec, samples)
 	if ck != nil {
+		report.SkippedLines = ck.SkippedLines()
+	}
+	if ck != nil {
 		if err := ck.Flush(report.Complete); err != nil {
 			return nil, err
 		}

@@ -33,12 +33,29 @@ type Scenario struct {
 // Crash samples a crash pattern: every node except the protected source
 // crashes independently with probability q. (Protecting the source keeps
 // the broadcast well-defined; a crashed source is a trivial failure.)
+//
+// Degenerate rates are resolved deterministically and consume NO
+// randomness: q <= 0 and NaN crash nobody, q >= 1 crashes everybody but
+// the source. A NaN must not fall through to per-node Bernoulli draws —
+// `Float64() < NaN` is false, so it would crash nobody while silently
+// eating n−1 draws and perturbing every seeded result downstream.
 func Crash(g *graph.Graph, src int32, q float64, rng *xrand.Rand) *Scenario {
 	n := g.N()
 	survivors := make([]int32, 0, n)
-	for v := 0; v < n; v++ {
-		if int32(v) == src || !rng.Bernoulli(q) {
+	switch {
+	case q != q || q <= 0: // NaN or non-positive: nobody crashes
+		for v := 0; v < n; v++ {
 			survivors = append(survivors, int32(v))
+		}
+	case q >= 1: // everybody but the protected source crashes
+		if src >= 0 && int(src) < n {
+			survivors = append(survivors, src)
+		}
+	default:
+		for v := 0; v < n; v++ {
+			if int32(v) == src || !rng.Bernoulli(q) {
+				survivors = append(survivors, int32(v))
+			}
 		}
 	}
 	sub, orig := g.Subgraph(survivors)

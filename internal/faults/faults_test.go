@@ -119,3 +119,56 @@ func TestScenarioSubgraphIsInduced(t *testing.T) {
 	}
 	_ = graph.IsConnected(sc.Sub)
 }
+
+// TestCrashDegenerateRates pins Crash's handling of crash rates outside
+// (0,1): the scenario must be deterministic, consume no randomness, and
+// never leave the protected source crashed. A NaN rate used to fall
+// through to per-node Bernoulli draws — crashing nobody but consuming
+// n−1 draws, so every seeded result downstream of the call shifted.
+func TestCrashDegenerateRates(t *testing.T) {
+	g := gen.Complete(10)
+	cases := []struct {
+		name      string
+		q         float64
+		survivors int
+	}{
+		{"negative", -1, 10},
+		{"zero", 0, 10},
+		{"one", 1, 1},
+		{"above-one", 1.5, 1},
+		{"+inf", math.Inf(1), 1},
+		{"-inf", math.Inf(-1), 10},
+		{"nan", math.NaN(), 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := xrand.New(42)
+			sc := Crash(g, 3, tc.q, rng)
+			if len(sc.Survivors) != tc.survivors {
+				t.Fatalf("q=%v: %d survivors, want %d", tc.q, len(sc.Survivors), tc.survivors)
+			}
+			if sc.CrashedCount != 10-tc.survivors {
+				t.Fatalf("q=%v: CrashedCount=%d, want %d", tc.q, sc.CrashedCount, 10-tc.survivors)
+			}
+			if sc.SrcNew < 0 || sc.Survivors[sc.SrcNew] != 3 {
+				t.Fatalf("q=%v: protected source crashed (SrcNew=%d)", tc.q, sc.SrcNew)
+			}
+			// Degenerate rates must not consume randomness: the rng must
+			// still produce the same first draw as a fresh one.
+			if got, want := rng.Uint64(), xrand.New(42).Uint64(); got != want {
+				t.Fatalf("q=%v consumed rng draws: next=%d, fresh=%d", tc.q, got, want)
+			}
+		})
+	}
+}
+
+// TestCrashNaNMatchesZero pins NaN ≡ q=0 including the rng stream: a
+// run whose crash rate parses to NaN must reproduce the q=0 run exactly.
+func TestCrashNaNMatchesZero(t *testing.T) {
+	g := gen.Gnp(30, 0.2, xrand.New(5))
+	a := Crash(g, 0, math.NaN(), xrand.New(9))
+	b := Crash(g, 0, 0, xrand.New(9))
+	if len(a.Survivors) != len(b.Survivors) || a.CrashedCount != b.CrashedCount {
+		t.Fatal("NaN crash rate diverges from q=0")
+	}
+}

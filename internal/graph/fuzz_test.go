@@ -1,0 +1,158 @@
+package graph
+
+// Native fuzz targets for the CSR builder and Subgraph: the optimized
+// two-pass counting-sort build (with its ordered/unordered and
+// checked/unchecked fast paths) is compared against a naive map-of-sets
+// reference on arbitrary byte-derived edge lists. `go test` runs each
+// target over the checked-in corpus (testdata/fuzz + f.Add seeds);
+// `go test -fuzz=FuzzGraphBuild` explores from there.
+
+import (
+	"sort"
+	"testing"
+)
+
+// decodeGraph turns fuzz bytes into a vertex count and an edge list, and
+// builds both the CSR graph and the reference adjacency sets. It returns
+// nil when the input encodes an empty vertex set.
+func decodeGraph(data []byte) (*Graph, map[int32]map[int32]bool, int) {
+	if len(data) == 0 {
+		return nil, nil, 0
+	}
+	n := int(data[0]) % 33
+	if n == 0 {
+		return nil, nil, 0
+	}
+	b := NewBuilder(n)
+	ref := make(map[int32]map[int32]bool, n)
+	addRef := func(u, v int32) {
+		if ref[u] == nil {
+			ref[u] = make(map[int32]bool)
+		}
+		ref[u][v] = true
+	}
+	for i := 1; i+1 < len(data); i += 2 {
+		u := int32(data[i]) % int32(n)
+		v := int32(data[i+1]) % int32(n)
+		b.AddEdge(u, v)
+		if u != v {
+			addRef(u, v)
+			addRef(v, u)
+		}
+	}
+	return b.Build(), ref, n
+}
+
+func FuzzGraphBuild(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4})        // path, ordered
+	f.Add([]byte{5, 3, 4, 0, 1, 4, 3, 1, 0, 2, 2})  // duplicates + self-loop, unordered
+	f.Add([]byte{32, 31, 0, 0, 31, 31, 31, 15, 16}) // extreme ids
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, ref, n := decodeGraph(data)
+		if g == nil {
+			return
+		}
+		if g.N() != n {
+			t.Fatalf("N = %d, want %d", g.N(), n)
+		}
+		edges := 0
+		for v := int32(0); int(v) < n; v++ {
+			nb := g.Neighbors(v)
+			if len(nb) != len(ref[v]) {
+				t.Fatalf("degree(%d) = %d, reference %d", v, len(nb), len(ref[v]))
+			}
+			if g.Degree(v) != len(nb) {
+				t.Fatalf("Degree(%d) = %d, Neighbors has %d", v, g.Degree(v), len(nb))
+			}
+			if !sort.SliceIsSorted(nb, func(i, j int) bool { return nb[i] < nb[j] }) {
+				t.Fatalf("Neighbors(%d) not sorted: %v", v, nb)
+			}
+			for i, w := range nb {
+				if i > 0 && nb[i-1] == w {
+					t.Fatalf("Neighbors(%d) has duplicate %d", v, w)
+				}
+				if w == v {
+					t.Fatalf("self-loop survived at %d", v)
+				}
+				if !ref[v][w] {
+					t.Fatalf("phantom edge {%d,%d}", v, w)
+				}
+			}
+			edges += len(nb)
+		}
+		if g.M() != edges/2 {
+			t.Fatalf("M = %d, adjacency holds %d half-edges", g.M(), edges)
+		}
+		// HasEdge must agree with the reference on every pair, both ways.
+		for u := int32(0); int(u) < n; u++ {
+			for v := int32(0); int(v) < n; v++ {
+				if g.HasEdge(u, v) != ref[u][v] {
+					t.Fatalf("HasEdge(%d,%d) = %v, reference %v", u, v, g.HasEdge(u, v), ref[u][v])
+				}
+			}
+		}
+	})
+}
+
+func FuzzSubgraph(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 4}, []byte{0b10110})
+	f.Add([]byte{8, 0, 7, 1, 6, 2, 5}, []byte{0xFF})
+	f.Add([]byte{3, 0, 1, 1, 2}, []byte{0})
+	f.Fuzz(func(t *testing.T, data, mask []byte) {
+		g, _, n := decodeGraph(data)
+		if g == nil {
+			return
+		}
+		// The mask's bit v selects vertex v for the induced subgraph.
+		var vertices []int32
+		for v := 0; v < n; v++ {
+			if v/8 < len(mask) && mask[v/8]&(1<<(v%8)) != 0 {
+				vertices = append(vertices, int32(v))
+			}
+		}
+		sub, orig := g.Subgraph(vertices)
+		if sub.N() != len(vertices) {
+			t.Fatalf("sub.N = %d, want %d", sub.N(), len(vertices))
+		}
+		if len(orig) != len(vertices) {
+			t.Fatalf("orig mapping has %d entries, want %d", len(orig), len(vertices))
+		}
+		for i, v := range vertices {
+			if orig[i] != v {
+				t.Fatalf("orig[%d] = %d, want %d", i, orig[i], v)
+			}
+		}
+		// Induced property: an edge exists in sub iff it exists in g
+		// between the corresponding originals.
+		for i := int32(0); int(i) < sub.N(); i++ {
+			for j := int32(0); int(j) < sub.N(); j++ {
+				if sub.HasEdge(i, j) != g.HasEdge(orig[i], orig[j]) {
+					t.Fatalf("sub.HasEdge(%d,%d) = %v, g.HasEdge(%d,%d) = %v",
+						i, j, sub.HasEdge(i, j), orig[i], orig[j], g.HasEdge(orig[i], orig[j]))
+				}
+			}
+		}
+	})
+}
+
+// TestSubgraphRejectsOutOfRange pins the validation added for the raw
+// index panic: an out-of-range vertex must fail with a clear message,
+// not a CSR bounds fault.
+func TestSubgraphRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	for _, bad := range [][]int32{{3}, {-1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Subgraph(%v) did not panic", bad)
+				}
+			}()
+			g.Subgraph(bad)
+		}()
+	}
+}

@@ -353,6 +353,9 @@ func (g *Graph) Subgraph(vertices []int32) (*Graph, []int32) {
 	index := make(map[int32]int32, len(vertices))
 	orig := make([]int32, len(vertices))
 	for i, v := range vertices {
+		if v < 0 || int(v) >= g.N() {
+			panic(fmt.Sprintf("graph: Subgraph vertex %d out of range [0,%d)", v, g.N()))
+		}
 		if _, dup := index[v]; dup {
 			panic("graph: duplicate vertex in Subgraph")
 		}

@@ -1,0 +1,100 @@
+package oracle
+
+// Differential-harness plumbing: a transmitter-set recorder (the bridge
+// between the engine's sampled fast path and the oracle's replay) and a
+// field-by-field result comparator that renders any divergence as a
+// reproducible report.
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/radio"
+	"repro/internal/trace"
+)
+
+// TxRecorder is a trace.Observer that additionally implements
+// trace.TransmitterObserver: attached to a radio.Engine it records a copy
+// of every executed round's effective transmitter set alongside the usual
+// round records. It is how the harness captures what the engine's
+// sampled-transmitter fast path actually drew, so the draws can be
+// replayed against the naive oracle.
+type TxRecorder struct {
+	trace.Recorder
+	// Sets[i] is the transmitter set of round i+1 (a copy; safe to keep).
+	Sets [][]int32
+}
+
+// RoundTransmitters implements trace.TransmitterObserver.
+func (r *TxRecorder) RoundTransmitters(round int, tx []int32) {
+	set := make([]int32, len(tx))
+	copy(set, tx)
+	r.Sets = append(r.Sets, set)
+}
+
+// Reset clears the recorder for reuse.
+func (r *TxRecorder) Reset() {
+	r.Recorder.Reset()
+	r.Sets = nil
+}
+
+var _ trace.Observer = (*TxRecorder)(nil)
+var _ trace.TransmitterObserver = (*TxRecorder)(nil)
+
+// Compare checks an engine result against an oracle result field by
+// field and returns a description of every divergence (empty = match).
+// InformedAt is compared element-wise; Stats field by field.
+func Compare(engine, oracle radio.Result) string {
+	var b strings.Builder
+	diff := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+	if engine.Completed != oracle.Completed {
+		diff("Completed: engine %v, oracle %v", engine.Completed, oracle.Completed)
+	}
+	if engine.Rounds != oracle.Rounds {
+		diff("Rounds: engine %d, oracle %d", engine.Rounds, oracle.Rounds)
+	}
+	if engine.Informed != oracle.Informed {
+		diff("Informed: engine %d, oracle %d", engine.Informed, oracle.Informed)
+	}
+	if engine.N != oracle.N {
+		diff("N: engine %d, oracle %d", engine.N, oracle.N)
+	}
+	if engine.Stats != oracle.Stats {
+		diff("Stats: engine %+v, oracle %+v", engine.Stats, oracle.Stats)
+	}
+	if len(engine.InformedAt) != len(oracle.InformedAt) {
+		diff("InformedAt length: engine %d, oracle %d", len(engine.InformedAt), len(oracle.InformedAt))
+	} else {
+		shown := 0
+		for v := range engine.InformedAt {
+			if engine.InformedAt[v] != oracle.InformedAt[v] {
+				if shown < 8 {
+					diff("InformedAt[%d]: engine %d, oracle %d", v, engine.InformedAt[v], oracle.InformedAt[v])
+				}
+				shown++
+			}
+		}
+		if shown > 8 {
+			diff("... and %d more InformedAt divergences", shown-8)
+		}
+	}
+	return b.String()
+}
+
+// CompareRecords checks the engine's per-round records against the
+// oracle's and returns a description of every divergence (empty =
+// match). Both sides account rounds through identical trace.RoundRecord
+// structs, so a mismatch pinpoints the first diverging round.
+func CompareRecords(engine, oracle []trace.RoundRecord) string {
+	var b strings.Builder
+	if len(engine) != len(oracle) {
+		fmt.Fprintf(&b, "round count: engine %d, oracle %d\n", len(engine), len(oracle))
+	}
+	for i := 0; i < len(engine) && i < len(oracle); i++ {
+		if engine[i] != oracle[i] {
+			fmt.Fprintf(&b, "round %d: engine %+v, oracle %+v\n", i+1, engine[i], oracle[i])
+			break // the first divergence is the informative one
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package oracle
+
+// Self-tests of the reference simulator on hand-built graphs where the
+// model's outcomes can be verified by eye. The oracle is the baseline the
+// engine is judged against, so its own behaviour is pinned down here
+// against nothing but the paper's definition.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+)
+
+// star returns K_{1,k}: hub 0, leaves 1..k.
+func star(k int) *graph.Graph {
+	b := graph.NewBuilder(k + 1)
+	for i := 1; i <= k; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.Build()
+}
+
+// path returns the path 0-1-...-(n-1).
+func path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+func TestOracleHubBroadcast(t *testing.T) {
+	g := star(4)
+	o := New(g, []int32{0}, radio.StrictInformed)
+	newly, err := o.Round([]int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf has exactly one neighbour (the hub), so all receive.
+	if len(newly) != 4 || !o.Done() {
+		t.Fatalf("hub transmit should inform all leaves, got newly=%v done=%v", newly, o.Done())
+	}
+	if o.Successes != 4 || o.Collisions != 0 || o.Silent != 0 {
+		t.Fatalf("counters: %d successes, %d collisions, %d silent", o.Successes, o.Collisions, o.Silent)
+	}
+}
+
+func TestOracleCollision(t *testing.T) {
+	// Two informed leaves transmit: the hub hears a collision, receives
+	// nothing; the other leaves hear silence.
+	g := star(4)
+	o := New(g, []int32{1, 2}, radio.StrictInformed)
+	newly, err := o.Round([]int32{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 0 {
+		t.Fatalf("collision at hub must deliver nothing, newly=%v", newly)
+	}
+	if o.Collisions != 1 || o.Successes != 0 || o.Silent != 2 {
+		t.Fatalf("counters: %d successes, %d collisions, %d silent", o.Successes, o.Collisions, o.Silent)
+	}
+	if o.Informed(0) {
+		t.Fatal("hub must stay uninformed after a collision")
+	}
+}
+
+func TestOracleTransmitterDoesNotListen(t *testing.T) {
+	// Both endpoints of an edge transmit: each would be the other's single
+	// transmitting neighbour, but transmitters do not listen.
+	g := path(2)
+	o := New(g, []int32{0, 1}, radio.StrictInformed)
+	newly, err := o.Round([]int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 0 || o.Successes != 0 || o.Collisions != 0 || o.Silent != 0 {
+		t.Fatalf("half-duplex violated: newly=%v successes=%d collisions=%d silent=%d",
+			newly, o.Successes, o.Collisions, o.Silent)
+	}
+}
+
+func TestOracleDuplicateTransmitters(t *testing.T) {
+	// A node listed twice transmits once: its neighbour still receives
+	// (count is 1, not 2).
+	g := path(2)
+	o := New(g, []int32{0}, radio.StrictInformed)
+	newly, err := o.Round([]int32{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(newly) != 1 || newly[0] != 1 {
+		t.Fatalf("duplicate transmitter should count once, newly=%v", newly)
+	}
+	if o.Transmissions != 1 {
+		t.Fatalf("Transmissions = %d, want 1", o.Transmissions)
+	}
+}
+
+func TestOraclePolicies(t *testing.T) {
+	g := path(3) // 0-1-2, source 0
+	t.Run("strict", func(t *testing.T) {
+		o := New(g, []int32{0}, radio.StrictInformed)
+		_, err := o.Round([]int32{2})
+		if !errors.Is(err, radio.ErrUninformedTransmitter) {
+			t.Fatalf("want ErrUninformedTransmitter, got %v", err)
+		}
+		// The failed round must not commit.
+		if o.RoundCount() != 0 || o.Rounds != 0 || len(o.Records) != 0 {
+			t.Fatalf("failed round committed: rounds=%d", o.RoundCount())
+		}
+	})
+	t.Run("filter", func(t *testing.T) {
+		o := New(g, []int32{0}, radio.FilterUninformed)
+		newly, err := o.Round([]int32{0, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 is dropped; 0 informs 1 cleanly.
+		if len(newly) != 1 || newly[0] != 1 || o.Transmissions != 1 {
+			t.Fatalf("filter: newly=%v transmissions=%d", newly, o.Transmissions)
+		}
+	})
+	t.Run("magic", func(t *testing.T) {
+		o := New(g, []int32{0}, radio.MagicTransmitters)
+		newly, err := o.Round([]int32{2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The uninformed node 2 transmits anyway and informs 1; 2 itself
+		// stays uninformed (it transmitted a message it never held).
+		if len(newly) != 1 || newly[0] != 1 {
+			t.Fatalf("magic: newly=%v", newly)
+		}
+		if o.Informed(2) {
+			t.Fatal("magic transmitter must stay uninformed")
+		}
+	})
+}
+
+func TestOraclePathPropagation(t *testing.T) {
+	// On a path with a single transmitter per round the message walks one
+	// hop per round: informedAt[v] == v.
+	n := 6
+	g := path(n)
+	o := New(g, []int32{0}, radio.StrictInformed)
+	for r := 0; r < n-1; r++ {
+		if _, err := o.Round([]int32{int32(r)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !o.Done() {
+		t.Fatal("path broadcast incomplete")
+	}
+	for v := 0; v < n; v++ {
+		if o.InformedAt(int32(v)) != int32(v) {
+			t.Fatalf("informedAt[%d] = %d, want %d", v, o.InformedAt(int32(v)), v)
+		}
+	}
+}

@@ -73,10 +73,18 @@ func (e *Engine) RoundWithFeedback(transmitters []int32, fb []Feedback) ([]int32
 	}
 	e.cdTx = e.cdTx[:0]
 	for _, v := range transmitters {
-		if v >= 0 && int(v) < n && !e.cdMark[v] {
-			e.cdMark[v] = true
-			e.cdTx = append(e.cdTx, v)
+		if v < 0 || int(v) >= n || e.cdMark[v] {
+			continue
 		}
+		if !e.informed[v] && e.policy == FilterUninformed {
+			// Round drops this transmitter; counting it here would hand
+			// listeners phantom hits (a collision from a node that never
+			// transmitted) and mark the node FeedbackNone though it
+			// listened. Mirror Round's filtering exactly.
+			continue
+		}
+		e.cdMark[v] = true
+		e.cdTx = append(e.cdTx, v)
 	}
 	e.cdTouched = e.cdTouched[:0]
 	for _, v := range e.cdTx {

@@ -29,6 +29,9 @@ func NewEngineMulti(g *graph.Graph, sources []int32, policy TransmitterPolicy) *
 			e.informed[s] = true
 			e.informedAt[s] = 0
 			e.numInformed++
+			// Remember the extra source so Reset restores the full initial
+			// informed set rather than silently collapsing to {sources[0]}.
+			e.extraSources = append(e.extraSources, s)
 		}
 	}
 	return e

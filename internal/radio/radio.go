@@ -90,9 +90,15 @@ type Engine struct {
 	// obs, when non-nil, receives a trace.RoundRecord after every round.
 	// The nil case costs one branch per round — the untraced fast path
 	// allocates nothing (see reuse_test.go and BenchmarkBroadcastReuse).
-	obs       trace.Observer
-	newly     []int32 // scratch reused across rounds
-	txScratch []int32 // scratch transmit set for the protocol runners
+	obs trace.Observer
+	// txObs is obs's trace.TransmitterObserver extension when it declares
+	// one, cached at Attach time so Round pays no per-round assertion.
+	txObs trace.TransmitterObserver
+	// extraSources holds the initial informed set beyond src for engines
+	// built by NewEngineMulti, so Reset restores the full set.
+	extraSources []int32
+	newly        []int32 // scratch reused across rounds
+	txScratch    []int32 // scratch transmit set for the protocol runners
 	// Sampled-transmitter fast path (see UniformProtocol). The protocol
 	// runner keeps incremental per-cohort eligible lists so a uniform round
 	// draws k ~ Binomial(|eligible|, q) transmitters in O(k) instead of
@@ -138,9 +144,10 @@ func NewEngine(g *graph.Graph, src int32, policy TransmitterPolicy) *Engine {
 	return e
 }
 
-// Reset returns the engine to its initial state (only the source informed)
-// without reallocating, making one engine reusable across many trials on
-// the same graph (see RunProtocolOn).
+// Reset returns the engine to its initial state — the full initial
+// informed set: the source, plus every extra source for engines built by
+// NewEngineMulti — without reallocating, making one engine reusable
+// across many trials on the same graph (see RunProtocolOn).
 func (e *Engine) Reset() {
 	for i := range e.informed {
 		e.informed[i] = false
@@ -149,6 +156,13 @@ func (e *Engine) Reset() {
 	e.informed[e.src] = true
 	e.informedAt[e.src] = 0
 	e.numInformed = 1
+	for _, s := range e.extraSources {
+		if !e.informed[s] {
+			e.informed[s] = true
+			e.informedAt[s] = 0
+			e.numInformed++
+		}
+	}
 	e.round = 0
 	e.counters.Reset()
 	// Eligible lists describe a run that is over; the next protocol run
@@ -164,12 +178,15 @@ func (e *Engine) Reset() {
 }
 
 // ResetFor is Reset with a different broadcast source, so one engine can
-// sweep every source of a graph without reallocating.
+// sweep every source of a graph without reallocating. The initial
+// informed set becomes exactly {src}: extra sources of a NewEngineMulti
+// engine are discarded (a source sweep is a single-source notion).
 func (e *Engine) ResetFor(src int32) {
 	if src < 0 || int(src) >= e.g.N() {
 		panic(fmt.Sprintf("radio: source %d out of range [0,%d)", src, e.g.N()))
 	}
 	e.src = src
+	e.extraSources = nil
 	e.Reset()
 }
 
@@ -206,8 +223,14 @@ func (e *Engine) Counters() trace.Counters { return e.counters }
 // many trials on a reused engine.
 //
 // With no observer attached the per-round overhead is a single nil check;
-// the allocation-free fast path is unchanged.
-func (e *Engine) Attach(obs trace.Observer) { e.obs = obs }
+// the allocation-free fast path is unchanged. An observer that also
+// implements trace.TransmitterObserver additionally receives every
+// round's effective transmitter set (the extension is detected here, not
+// per round).
+func (e *Engine) Attach(obs trace.Observer) {
+	e.obs = obs
+	e.txObs, _ = obs.(trace.TransmitterObserver)
+}
 
 // Observer returns the currently attached observer, or nil.
 func (e *Engine) Observer() trace.Observer { return e.obs }
@@ -290,6 +313,13 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 		}
 	}
 	e.round++
+	if e.txObs != nil {
+		// The round is committed; hand the effective (policy-filtered,
+		// deduplicated) transmitter set to the extended observer before
+		// classification. The slice is engine scratch: valid only for the
+		// duration of the call.
+		e.txObs.RoundTransmitters(e.round, e.txList)
+	}
 
 	// The exact neighbour-visit count picks the classification strategy:
 	// dense rounds (visits >= n/2) skip the touched-list bookkeeping in the

@@ -56,14 +56,25 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("radio: empty schedule input")
 	}
-	var rounds int
-	if _, err := fmt.Sscanf(sc.Text(), "schedule %d", &rounds); err != nil {
+	header := strings.Fields(sc.Text())
+	if len(header) != 2 || header[0] != "schedule" {
+		return nil, fmt.Errorf("radio: bad schedule header %q", sc.Text())
+	}
+	rounds64, err := strconv.ParseInt(header[1], 10, 32)
+	if err != nil {
 		return nil, fmt.Errorf("radio: bad schedule header %q: %v", sc.Text(), err)
 	}
-	if rounds < 0 {
+	if rounds64 < 0 {
 		return nil, fmt.Errorf("radio: negative round count")
 	}
-	s := &Schedule{Sets: make([][]int32, 0, rounds)}
+	rounds := int(rounds64)
+	// The header is untrusted input: preallocate only up to a sane bound
+	// and let append grow the slice if the body really is that long.
+	prealloc := rounds
+	if prealloc > 1024 {
+		prealloc = 1024
+	}
+	s := &Schedule{Sets: make([][]int32, 0, prealloc)}
 	for sc.Scan() && len(s.Sets) < rounds {
 		line := strings.TrimSpace(sc.Text())
 		if strings.HasPrefix(line, "#") {
@@ -74,7 +85,10 @@ func ReadSchedule(r io.Reader) (*Schedule, error) {
 			fields := strings.Fields(line)
 			set = make([]int32, len(fields))
 			for i, f := range fields {
-				v, err := strconv.Atoi(f)
+				// ParseInt with bitSize 32, not Atoi: a vertex id that
+				// overflows int32 must be an error, not a silent wrap to an
+				// unrelated (possibly valid) id.
+				v, err := strconv.ParseInt(f, 10, 32)
 				if err != nil {
 					return nil, fmt.Errorf("radio: round %d: %v", len(s.Sets)+1, err)
 				}

@@ -1,0 +1,91 @@
+package radio
+
+// Fuzz target and regression tests for the schedule text format. The
+// parser consumes untrusted input, so the properties are: never panic,
+// never trust the header's round count for allocation, reject anything
+// that does not round-trip, and round-trip exactly what it accepts.
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func FuzzReadSchedule(f *testing.F) {
+	f.Add([]byte("schedule 2\n0 1 2\n\n"))
+	f.Add([]byte("schedule 0\n"))
+	f.Add([]byte("schedule 3\n# comment\n1\n2 2 2\n\n"))
+	f.Add([]byte("schedule 99999999999999999999\n0\n")) // count overflows int64
+	f.Add([]byte("schedule 2000000000\n0\n"))           // count would OOM if preallocated
+	f.Add([]byte("schedule 1\n4294967296\n"))           // vertex overflows int32
+	f.Add([]byte("schedule 1 trailing\n0\n"))           // junk after header
+	f.Add([]byte("schedule -1\n"))
+	f.Add([]byte("not a schedule\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ReadSchedule(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a write/read round trip intact.
+		var buf bytes.Buffer
+		if _, err := s.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of accepted schedule failed: %v", err)
+		}
+		s2, err := ReadSchedule(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ninput %q\nwrote %q", err, data, buf.Bytes())
+		}
+		if len(s.Sets) != len(s2.Sets) {
+			t.Fatalf("round trip changed round count: %d -> %d", len(s.Sets), len(s2.Sets))
+		}
+		for i := range s.Sets {
+			// nil and empty both serialise as a blank line.
+			if len(s.Sets[i]) == 0 && len(s2.Sets[i]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(s.Sets[i], s2.Sets[i]) {
+				t.Fatalf("round %d changed: %v -> %v", i+1, s.Sets[i], s2.Sets[i])
+			}
+		}
+	})
+}
+
+// TestReadScheduleHeaderNotTrusted pins the allocation fix: a header
+// claiming two billion rounds over a one-line body must fail with a
+// count mismatch, not preallocate gigabytes first.
+func TestReadScheduleHeaderNotTrusted(t *testing.T) {
+	_, err := ReadSchedule(strings.NewReader("schedule 2000000000\n0\n"))
+	if err == nil || !strings.Contains(err.Error(), "found 1") {
+		t.Fatalf("want count-mismatch error, got %v", err)
+	}
+}
+
+// TestReadScheduleVertexOverflow pins the ParseInt fix: a vertex id that
+// does not fit in int32 must be rejected, not silently wrapped onto a
+// small (possibly valid) id.
+func TestReadScheduleVertexOverflow(t *testing.T) {
+	for _, in := range []string{
+		"schedule 1\n4294967296\n", // wraps to 0 under int32(Atoi)
+		"schedule 1\n2147483648\n", // int32 max + 1
+	} {
+		if _, err := ReadSchedule(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted overflowing vertex id: %q", in)
+		}
+	}
+}
+
+// TestReadScheduleHeaderStrict pins the header parse: trailing tokens and
+// non-numeric counts are errors (Sscanf used to accept trailing junk).
+func TestReadScheduleHeaderStrict(t *testing.T) {
+	for _, in := range []string{
+		"schedule 1 junk\n0\n",
+		"schedule\n",
+		"schedule x\n",
+		"sched 1\n0\n",
+	} {
+		if _, err := ReadSchedule(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted malformed header: %q", in)
+		}
+	}
+}

@@ -108,6 +108,24 @@ type Observer interface {
 	EndRun(Summary)
 }
 
+// TransmitterObserver is an optional extension of Observer: an observer
+// that also implements it additionally receives, for every executed
+// round, the effective transmitter set — after policy filtering and
+// deduplication, exactly the nodes whose transmissions the engine
+// simulates. The slice aliases engine-owned scratch and is only valid for
+// the duration of the call; copy it to retain it.
+//
+// The hook exists for correctness tooling (the internal/oracle
+// differential harness replays recorded transmitter sets against a naive
+// reference simulator); engines check for the extension once at Attach
+// time, so observers that do not implement it pay nothing.
+type TransmitterObserver interface {
+	// RoundTransmitters is called before the round is classified, with the
+	// 1-based round index about to execute and its effective transmitter
+	// set.
+	RoundTransmitters(round int, tx []int32)
+}
+
 // Recorder is an Observer that stores everything it sees in memory: the
 // run info, every round record, and the final summary. It is the bridge
 // between the streaming observer layer and code that wants a complete
