@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint bench experiments verify cover race campaign-smoke fuzz-smoke clean
+.PHONY: all build test vet lint bench experiments verify cover race campaign-smoke fuzz-smoke serve-smoke clean
 
 all: build vet test
 
@@ -48,6 +48,13 @@ campaign-smoke:
 	go run ./cmd/campaign report -out /tmp/campaign-smoke/ck -json > /tmp/campaign-smoke/offline.json
 	cmp /tmp/campaign-smoke/full.json /tmp/campaign-smoke/offline.json
 	@echo "campaign-smoke: resume converged to the uninterrupted report"
+
+# End-to-end smoke test of the radiosimd daemon: build the binary, boot
+# it on a random port, fire a run, a JSONL stream and a metrics scrape
+# over real HTTP (asserting the graph-cache hit), then SIGTERM and
+# require a clean drain with exit code 0.
+serve-smoke:
+	go test -run '^TestDaemonSmoke$$' -count=1 -v ./cmd/radiosimd/
 
 # Short mutation run of every native fuzz target (go's one-fuzz-target-
 # per-invocation limit forces the loop). The checked-in seed corpora under

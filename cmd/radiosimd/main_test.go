@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestDaemonInProcess drives run() directly: boot on a random port, fire
+// a run and a stream request, then SIGTERM ourselves and check the drain
+// completes cleanly.
+func TestDaemonInProcess(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var out bytes.Buffer
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-grace", "2s"}, &out, os.Stderr, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"n": 300, "d": 10, "graph_seed": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Completed bool `json:"completed"`
+		Rounds    int  `json:"rounds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !res.Completed {
+		t.Fatalf("run: status %d result %+v", resp.StatusCode, res)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained, bye") {
+		t.Fatalf("missing drain farewell in output:\n%s", out.String())
+	}
+}
+
+// TestDaemonSmoke is the end-to-end binary smoke test (the Makefile
+// serve-smoke target runs it): build radiosimd, boot it, fire a blocking
+// run, a streaming run and a metrics scrape over real HTTP, then SIGTERM
+// and require a clean drain and exit code 0.
+func TestDaemonSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "radiosimd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building radiosimd: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-grace", "2s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	base := "http://" + strings.TrimSpace(line[i+len(marker):])
+	// Drain the rest of stdout in the background so the child never
+	// blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+
+	resp, err := http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"n": 400, "d": 10, "graph_seed": 1, "seed": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Completed bool `json:"completed"`
+		Informed  int  `json:"informed"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !res.Completed || res.Informed != 400 {
+		t.Fatalf("run: status %d result %+v", resp.StatusCode, res)
+	}
+
+	resp, err = http.Post(base+"/v1/run/stream", "application/json",
+		strings.NewReader(`{"n": 400, "d": 10, "graph_seed": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	lastLine := ""
+	ssc := bufio.NewScanner(resp.Body)
+	for ssc.Scan() {
+		if !json.Valid(ssc.Bytes()) {
+			t.Fatalf("stream line %d is not JSON: %q", lines, ssc.Text())
+		}
+		lines++
+		lastLine = ssc.Text()
+	}
+	resp.Body.Close()
+	if err := ssc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines < 4 || !strings.Contains(lastLine, `"type":"result"`) {
+		t.Fatalf("stream produced %d lines, last %q", lines, lastLine)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics struct {
+		Cache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+		} `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Both runs used the same graph key: one build, one cache hit.
+	if metrics.Cache.Misses != 1 || metrics.Cache.Hits != 1 {
+		t.Fatalf("cache misses=%d hits=%d, want 1 and 1", metrics.Cache.Misses, metrics.Cache.Hits)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("radiosimd exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("radiosimd did not exit after SIGTERM")
+	}
+	fmt.Println("serve-smoke: ok")
+}

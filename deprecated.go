@@ -1,0 +1,68 @@
+package repro
+
+// Deprecated positional entry points, kept in one place so the rest of the
+// facade reads options-first. Everything in this file is a thin wrapper
+// over Run; prefer Run (or RunContext for cancellation) in new code:
+//
+//	Broadcast(g, src, d, rng)            → Run(g, src, WithDegree(d), WithRand(rng))
+//	RunProtocol(g, src, p, max, rng)     → Run(g, src, WithProtocol(p), WithMaxRounds(max), WithRand(rng))
+//	ExecuteSchedule(g, src, s)           → Run(g, src, WithSchedule(s))
+//	BroadcastMulti(g, srcs, d, rng, ...) → Run(g, srcs[0], WithSources(srcs[1:]...), WithDegree(d), WithRand(rng))
+//
+// The protocol-running wrappers (Broadcast, RunProtocol, BroadcastMulti)
+// opt out of the sampled-transmitter fast path internally and therefore
+// keep their historical per-node randomness streams bit-for-bit stable
+// across releases — deprecated_stream_test.go freezes their fingerprints.
+// None of these will be removed while anything in the repository still
+// compiles against them, but they receive no new capabilities: context
+// cancellation, typed errors and observers arrive only through
+// Run/RunContext options.
+
+// ExecuteSchedule replays a schedule on g from src under the strict radio
+// model and returns the result.
+//
+// Deprecated: use Run(g, src, WithSchedule(s)); ExecuteSchedule is its
+// positional form and behaves identically.
+func ExecuteSchedule(g *Graph, src int32, s *Schedule) (Result, error) {
+	return Run(g, src, WithSchedule(s))
+}
+
+// Broadcast runs the paper's distributed protocol on g from src with a
+// generous round budget and returns the result.
+//
+// Deprecated: use Run(g, src, WithDegree(d), WithRand(rng)); Broadcast is
+// its positional form. Broadcast keeps the historical per-node randomness
+// stream (it opts out of the sampled fast path), so its outputs at a
+// fixed seed are bit-for-bit stable across releases; plain Run draws the
+// same transmitter-set distribution through the faster sampled stream.
+func Broadcast(g *Graph, src int32, d float64, rng *Rand) Result {
+	res, _ := Run(g, src, WithDegree(d), WithRand(rng), WithPerNodeSampling()) // cannot fail: no schedule
+	return res
+}
+
+// RunProtocol simulates an arbitrary distributed protocol for at most
+// maxRounds rounds.
+//
+// Deprecated: use Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds),
+// WithRand(rng)); RunProtocol is its positional form. Like Broadcast it
+// keeps the historical per-node randomness stream.
+func RunProtocol(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) Result {
+	res, _ := Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds), WithRand(rng), WithPerNodeSampling())
+	return res
+}
+
+// BroadcastMulti runs the paper's distributed protocol starting from
+// several sources simultaneously. Optional observers receive the
+// per-round trace.
+//
+// Deprecated: use Run(g, sources[0], WithSources(sources[1:]...),
+// WithDegree(d), WithRand(rng)); BroadcastMulti is its positional form
+// and, like Broadcast, keeps the historical per-node randomness stream.
+func BroadcastMulti(g *Graph, sources []int32, d float64, rng *Rand, obs ...Observer) Result {
+	if len(sources) == 0 {
+		panic("repro: BroadcastMulti needs at least one source")
+	}
+	res, _ := Run(g, sources[0], WithSources(sources[1:]...), WithDegree(d),
+		WithRand(rng), WithObserver(MultiObserver(obs...)), WithPerNodeSampling())
+	return res
+}

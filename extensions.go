@@ -59,22 +59,6 @@ func Crash(g *Graph, src int32, q float64, rng *Rand) *CrashScenario {
 	return faults.Crash(g, src, q, rng)
 }
 
-// BroadcastMulti runs the paper's distributed protocol starting from
-// several sources simultaneously. Optional observers receive the
-// per-round trace.
-//
-// Deprecated: use Run(g, sources[0], WithSources(sources[1:]...),
-// WithDegree(d), WithRand(rng)); BroadcastMulti is its positional form
-// and, like Broadcast, keeps the historical per-node randomness stream.
-func BroadcastMulti(g *Graph, sources []int32, d float64, rng *Rand, obs ...Observer) Result {
-	if len(sources) == 0 {
-		panic("repro: BroadcastMulti needs at least one source")
-	}
-	res, _ := Run(g, sources[0], WithSources(sources[1:]...), WithDegree(d),
-		WithRand(rng), WithObserver(MultiObserver(obs...)), WithPerNodeSampling())
-	return res
-}
-
 // SourceSweep runs the paper's protocol once from each of k random
 // sources and returns the completion rounds (MaxRounds+1 sentinel for
 // incomplete runs) — the "for any u ∈ V" measurement.

@@ -1,0 +1,170 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// ctxGate coordinates the "test-ctx" kind with the cancellation tests:
+// each RunTrialContext call sends one token to started (if a test is
+// listening) and then blocks until release is closed or the context is
+// canceled. RunTrial — the path used when a campaign has no Context —
+// never touches the gate.
+var ctxGate struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func init() {
+	RegisterKind("test-ctx", func(p PointSpec, _ uint64) (Runner, error) {
+		return ctxAwareRunner{scale: p.Trial.D}, nil
+	})
+}
+
+type ctxAwareRunner struct{ scale float64 }
+
+func (r ctxAwareRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
+	v := rng.Float64() * r.scale
+	return v, v > 1
+}
+
+func (r ctxAwareRunner) RunTrialContext(ctx context.Context, rng *xrand.Rand) (float64, bool, error) {
+	if ctxGate.started != nil {
+		select {
+		case ctxGate.started <- struct{}{}:
+		default:
+		}
+	}
+	if ctxGate.release != nil {
+		select {
+		case <-ctxGate.release:
+		case <-ctx.Done():
+			return 0, false, radio.Canceled(ctx)
+		}
+	}
+	v := rng.Float64() * r.scale
+	return v, v > 1, nil
+}
+
+func ctxSpec(trials int) *Spec {
+	return &Spec{
+		Name:   "test-ctx-campaign",
+		Seed:   101,
+		Trials: trials,
+		Points: []PointSpec{
+			{ID: "a", X: 1, Trial: TrialSpec{Kind: "test-ctx", N: 10, D: 4}},
+			{ID: "b", X: 2, Trial: TrialSpec{Kind: "test-ctx", N: 10, D: 9}},
+		},
+	}
+}
+
+// TestContextCancelDropsInFlightTrialsAndResumes is the campaign half of
+// the cancellation contract: a run canceled while trials are blocked
+// mid-flight records NO samples for those trials (a cancellation-timing-
+// dependent value must never reach a checkpoint), and resuming the
+// checkpoint converges to the byte-identical report an uninterrupted run
+// produces.
+func TestContextCancelDropsInFlightTrialsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	spec := ctxSpec(8)
+
+	ctxGate.started = make(chan struct{}, 64)
+	ctxGate.release = make(chan struct{})
+	defer func() { ctxGate.started, ctxGate.release = nil, nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	type runOut struct {
+		report *Report
+		err    error
+	}
+	outCh := make(chan runOut, 1)
+	go func() {
+		rep, err := Run(spec, Options{Workers: 2, Dir: dir, Context: ctx})
+		outCh <- runOut{rep, err}
+	}()
+
+	// Both workers are now blocked inside RunTrialContext; cancel lands
+	// mid-trial.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-ctxGate.started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("workers never reached the trial gate")
+		}
+	}
+	cancel()
+	var out runOut
+	select {
+	case out = <-outCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled campaign did not return")
+	}
+	if out.err != nil {
+		t.Fatalf("canceled campaign returned error %v", out.err)
+	}
+	if out.report.Complete {
+		t.Fatal("canceled campaign reports Complete")
+	}
+	for _, p := range out.report.Points {
+		if p.Failures > 0 {
+			t.Fatalf("point %s records %d failed samples; canceled trials must be dropped, not failed", p.ID, p.Failures)
+		}
+	}
+
+	// Resume without a context (gate unused) and compare against a fresh
+	// uninterrupted run: byte-identical reports.
+	resumed, err := Run(spec, Options{Workers: 2, Dir: dir, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Run(spec, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rj, err := resumed.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := fresh.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rj, fj) {
+		t.Fatalf("resumed-after-cancel report differs from uninterrupted run:\n%s\nvs\n%s", rj, fj)
+	}
+}
+
+// TestContextUncanceledMatchesPlainRun: running under a live (never
+// canceled) context dispatches through RunTrialContext yet produces the
+// byte-identical report of a context-free run — the ContextRunner
+// contract that an uncanceled context-aware trial equals RunTrial.
+func TestContextUncanceledMatchesPlainRun(t *testing.T) {
+	spec := ctxSpec(16)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	withCtx, err := Run(spec, Options{Workers: 2, Context: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(spec, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := withCtx.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("context-aware run differs from plain run:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,6 +1,8 @@
 package campaign
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -8,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/radio"
 	"repro/internal/sweep"
 	"repro/internal/xrand"
 )
@@ -37,6 +40,14 @@ type Options struct {
 	// readable (closed): in-flight trials finish, the checkpoint is
 	// flushed, and Run returns the partial report. Wire ^C to it.
 	Interrupt <-chan struct{}
+	// Context, when non-nil, cancels the run cooperatively: dispatching
+	// stops (like Interrupt), and in-flight trials whose runners implement
+	// ContextRunner are canceled mid-run via the context instead of being
+	// run to completion. Canceled trials are DISCARDED, not recorded —
+	// a cancellation-timing-dependent sample would break the byte-identical
+	// resume guarantee — so a resumed run simply re-runs them. The
+	// checkpoint is still flushed and the partial report returned.
+	Context context.Context
 	// PointLo/PointHi restrict this run to grid points [PointLo, PointHi)
 	// for sharding a campaign across machines; (0, 0) means the whole
 	// grid. Shard checkpoints recombine with Merge.
@@ -141,15 +152,21 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 		}
 	}
 
+	ctx := opt.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	halt := make(chan struct{})
 	var haltOnce sync.Once
 	haltNow := func() { haltOnce.Do(func() { close(halt) }) }
-	if opt.Interrupt != nil {
+	if opt.Interrupt != nil || ctx.Done() != nil {
 		done := make(chan struct{})
 		defer close(done)
 		go func() {
 			select {
 			case <-opt.Interrupt:
+				haltNow()
+			case <-ctx.Done():
 				haltNow()
 			case <-done:
 			}
@@ -176,7 +193,7 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runWorker(spec, pointSeeds, workCh, resCh)
+			runWorker(ctx, spec, pointSeeds, workCh, resCh)
 		}()
 	}
 	go func() {
@@ -252,7 +269,12 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 // whose state the panic may have corrupted — is discarded, the trial is
 // retried up to spec.MaxRetries times, and a still-failing trial is
 // recorded as a failed sample rather than killing the pool.
-func runWorker(spec *Spec, pointSeeds []uint64, workCh <-chan workItem, resCh chan<- *Sample) {
+//
+// A trial canceled via ctx (see Options.Context and ContextRunner) is
+// dropped entirely: no sample is emitted, no retry attempted — its value
+// would depend on when cancellation landed, which must never reach a
+// checkpoint.
+func runWorker(ctx context.Context, spec *Spec, pointSeeds []uint64, workCh <-chan workItem, resCh chan<- *Sample) {
 	runners := make(map[int]Runner)
 	for it := range workCh {
 		s := &Sample{
@@ -261,8 +283,13 @@ func runWorker(spec *Spec, pointSeeds []uint64, workCh <-chan workItem, resCh ch
 			Trial:   it.trial,
 			Seed:    it.seed,
 		}
+		canceled := false
 		for attempt := 0; ; attempt++ {
-			value, ok, err := attemptTrial(spec, pointSeeds, runners, it)
+			value, ok, err := attemptTrial(ctx, spec, pointSeeds, runners, it)
+			if errors.Is(err, radio.ErrCanceled) {
+				canceled = true
+				break
+			}
 			if err == nil && (math.IsNaN(value) || math.IsInf(value, 0)) {
 				err = fmt.Errorf("trial returned non-finite value %v", value)
 			}
@@ -282,13 +309,19 @@ func runWorker(spec *Spec, pointSeeds []uint64, workCh <-chan workItem, resCh ch
 				break
 			}
 		}
+		if canceled {
+			continue
+		}
 		resCh <- s
 	}
 }
 
 // attemptTrial runs one attempt of one trial, converting panics (in
-// runner construction or the trial itself) into errors.
-func attemptTrial(spec *Spec, pointSeeds []uint64, runners map[int]Runner, it workItem) (value float64, ok bool, err error) {
+// runner construction or the trial itself) into errors. Runners that
+// implement ContextRunner get the worker's context so a campaign shutdown
+// cancels them mid-run; a resulting cancellation error is returned as-is
+// (wrapped in radio.ErrCanceled) for the caller to drop.
+func attemptTrial(ctx context.Context, spec *Spec, pointSeeds []uint64, runners map[int]Runner, it workItem) (value float64, ok bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
@@ -301,6 +334,9 @@ func attemptTrial(spec *Spec, pointSeeds []uint64, runners map[int]Runner, it wo
 			return 0, false, err
 		}
 		runners[it.point] = runner
+	}
+	if cr, isCtx := runner.(ContextRunner); isCtx && ctx.Done() != nil {
+		return cr.RunTrialContext(ctx, xrand.New(it.seed))
 	}
 	value, ok = runner.RunTrial(xrand.New(it.seed))
 	return value, ok, nil

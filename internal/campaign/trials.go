@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -26,6 +27,19 @@ type Runner interface {
 	// reports trial-level success (e.g. the broadcast completed within
 	// budget).
 	RunTrial(rng *xrand.Rand) (value float64, ok bool)
+}
+
+// ContextRunner is an optional Runner capability: a runner implements it
+// to support cooperative mid-trial cancellation. When a campaign runs
+// with Options.Context, workers call RunTrialContext instead of RunTrial;
+// a canceled trial must return an error wrapping radio.ErrCanceled, and
+// the worker then discards it (recording a partially-run trial would make
+// checkpoints depend on cancellation timing). An uncanceled
+// RunTrialContext must return exactly RunTrial's (value, ok) for the same
+// rng — the cancellation check consumes no randomness.
+type ContextRunner interface {
+	Runner
+	RunTrialContext(ctx context.Context, rng *xrand.Rand) (value float64, ok bool, err error)
 }
 
 // NewRunnerFunc builds a Runner for a point. pointSeed is the point's
@@ -153,6 +167,26 @@ func (r *protocolRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 		rounds = radio.BroadcastTime(g, 0, r.proto, r.maxRounds, rng)
 	}
 	return float64(rounds), rounds <= r.maxRounds
+}
+
+// RunTrialContext implements ContextRunner: the engine's round loop checks
+// ctx between rounds, so a campaign shutdown cancels the trial mid-run
+// instead of waiting out the round budget. Uncanceled, it is bit-identical
+// to RunTrial (the check consumes no randomness).
+func (r *protocolRunner) RunTrialContext(ctx context.Context, rng *xrand.Rand) (float64, bool, error) {
+	e := r.engine
+	if e == nil {
+		if err := ctx.Err(); err != nil {
+			return 0, false, radio.Canceled(ctx)
+		}
+		g := sampleConnected(r.spec.N, r.spec.D, rng)
+		e = radio.NewEngine(g, 0, radio.StrictInformed)
+	}
+	rounds, err := radio.BroadcastTimeOnContext(ctx, e, r.proto, r.maxRounds, rng)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(rounds), rounds <= r.maxRounds, nil
 }
 
 // centralizedRunner measures the replayed length of the Theorem 5

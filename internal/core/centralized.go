@@ -89,7 +89,7 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 	n := g.N()
 	var trace CentralizedTrace
 	if n == 0 {
-		return &radio.Schedule{}, trace, fmt.Errorf("core: empty graph")
+		return &radio.Schedule{}, trace, fmt.Errorf("core: %w: empty graph", radio.ErrScheduleMismatch)
 	}
 	if d < 2 {
 		d = 2
@@ -111,7 +111,7 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 	dist := graph.Distances(g, src)
 	for v, dv := range dist {
 		if dv == graph.Unreachable {
-			return nil, trace, fmt.Errorf("core: vertex %d unreachable from source %d", v, src)
+			return nil, trace, fmt.Errorf("core: %w: vertex %d unreachable from source %d", radio.ErrScheduleMismatch, v, src)
 		}
 	}
 	layers := graph.Layers(g, src)
@@ -145,7 +145,7 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 		}
 		*phase++
 		if e.RoundCount() > maxRounds {
-			return fmt.Errorf("core: schedule exceeded %d rounds (%s)", maxRounds, trace)
+			return fmt.Errorf("core: %w: schedule exceeded %d rounds (%s)", radio.ErrScheduleMismatch, maxRounds, trace)
 		}
 		return nil
 	}
@@ -194,7 +194,7 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 				sc.frontier = deepestInformedFrontier(e, dist, sc.frontier[:0])
 				frontier := sc.frontier
 				if len(frontier) == 0 {
-					return nil, trace, fmt.Errorf("core: stalled before kick-off (%s)", trace)
+					return nil, trace, fmt.Errorf("core: %w: stalled before kick-off (%s)", radio.ErrScheduleMismatch, trace)
 				}
 				if err := emit(frontier, &trace.TreeRounds); err != nil {
 					return nil, trace, err
@@ -300,8 +300,8 @@ func BuildCentralizedSchedule(g *graph.Graph, src int32, d float64, cfg Centrali
 	}
 
 	if !e.Done() {
-		return nil, trace, fmt.Errorf("core: schedule incomplete: %d/%d informed (%s)",
-			e.InformedCount(), n, trace)
+		return nil, trace, fmt.Errorf("core: %w: schedule incomplete: %d/%d informed (%s)",
+			radio.ErrScheduleMismatch, e.InformedCount(), n, trace)
 	}
 	return sched, trace, nil
 }
@@ -386,7 +386,7 @@ func coverUntilInformed(e *radio.Engine, emit func([]int32, *int) error, counter
 			// guarantees this cannot persist; make progress elsewhere by
 			// letting a random informed vertex transmit. If that is
 			// impossible the graph is disconnected (checked earlier).
-			return fmt.Errorf("core: cover targets unreachable from informed set")
+			return fmt.Errorf("core: %w: cover targets unreachable from informed set", radio.ErrScheduleMismatch)
 		}
 		// For large target sets a randomized 1/deg cover is cheaper and
 		// still informs a constant fraction; the greedy exact cover is

@@ -23,12 +23,12 @@ import (
 func BuildLayeredCoverSchedule(g *graph.Graph, src int32) (*radio.Schedule, error) {
 	n := g.N()
 	if n == 0 {
-		return nil, fmt.Errorf("core: empty graph")
+		return nil, fmt.Errorf("core: %w: empty graph", radio.ErrScheduleMismatch)
 	}
 	dist := graph.Distances(g, src)
 	for v, dv := range dist {
 		if dv == graph.Unreachable {
-			return nil, fmt.Errorf("core: vertex %d unreachable from %d", v, src)
+			return nil, fmt.Errorf("core: %w: vertex %d unreachable from %d", radio.ErrScheduleMismatch, v, src)
 		}
 	}
 	layers := graph.Layers(g, src)
@@ -129,7 +129,7 @@ func CompressSchedule(g *graph.Graph, src int32, s *radio.Schedule) (*radio.Sche
 			return nil, err
 		}
 		if res.Completed {
-			return nil, fmt.Errorf("core: compression lost coverage (internal error)")
+			return nil, fmt.Errorf("core: %w: compression lost coverage (internal error)", radio.ErrScheduleMismatch)
 		}
 	}
 	return out, nil

@@ -1,0 +1,42 @@
+package radio
+
+// Sentinel errors of the simulation API. Callers classify failures with
+// errors.Is instead of matching message strings; every error the engine,
+// the runners and the schedule builders return wraps exactly one of these
+// (plus, for cancellations, the context's own cause), so a serving layer
+// can map simulation failures onto transport status codes without parsing
+// text. The repro facade re-exports them.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCanceled marks a run stopped cooperatively by its context: the
+	// context-aware runners check for cancellation between rounds and
+	// return the partial result together with an error wrapping both
+	// ErrCanceled and the context's cause, so errors.Is works against
+	// ErrCanceled, context.Canceled and context.DeadlineExceeded alike.
+	ErrCanceled = errors.New("radio: run canceled")
+
+	// ErrNoSuchSource marks a broadcast source outside the graph's vertex
+	// range [0, n).
+	ErrNoSuchSource = errors.New("radio: no such source")
+
+	// ErrScheduleMismatch marks a schedule that does not fit the graph or
+	// the radio model: out-of-range or uninformed transmitters on replay,
+	// or a centralized construction that cannot produce a valid schedule
+	// for the instance (empty graph, vertices unreachable from the source,
+	// phase overruns). ErrUninformedTransmitter wraps it.
+	ErrScheduleMismatch = errors.New("radio: schedule mismatch")
+)
+
+// Canceled wraps a canceled context's cause in ErrCanceled; callers get
+// errors.Is against both the sentinel and the underlying context error.
+// It is the one construction site for cancellation errors, shared by the
+// engine's runners and the sweep/campaign worker pools.
+func Canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %w", ErrCanceled, context.Cause(ctx))
+}

@@ -19,7 +19,7 @@
 package radio
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
@@ -276,7 +276,8 @@ func (e *Engine) AppendUninformed(dst []int32) []int32 {
 
 // ErrUninformedTransmitter is returned by Round under StrictInformed when
 // the schedule contains a transmitter that does not yet hold the message.
-var ErrUninformedTransmitter = errors.New("radio: schedule uses uninformed transmitter")
+// It wraps ErrScheduleMismatch, so errors.Is matches either sentinel.
+var ErrUninformedTransmitter = fmt.Errorf("%w: schedule uses uninformed transmitter", ErrScheduleMismatch)
 
 // Round executes one synchronous step in which exactly the nodes of
 // transmitters transmit (subject to the engine's TransmitterPolicy) and
@@ -294,7 +295,7 @@ func (e *Engine) Round(transmitters []int32) ([]int32, error) {
 	for _, v := range transmitters {
 		if v < 0 || int(v) >= len(e.informed) {
 			e.clearTransmitMarks()
-			return nil, fmt.Errorf("radio: transmitter %d out of range", v)
+			return nil, fmt.Errorf("%w: transmitter %d out of range", ErrScheduleMismatch, v)
 		}
 		if !e.informed[v] {
 			switch e.policy {
@@ -504,16 +505,38 @@ func ExecuteScheduleOn(e *Engine, s *Schedule) (Result, error) {
 // adds no overhead). It is the observed, multi-source-capable form of
 // ExecuteSchedule.
 func ExecuteScheduleObserved(g *graph.Graph, sources []int32, s *Schedule, policy TransmitterPolicy, obs trace.Observer) (Result, error) {
+	return ExecuteScheduleObservedContext(context.Background(), g, sources, s, policy, obs)
+}
+
+// ExecuteScheduleObservedContext is ExecuteScheduleObserved with
+// cooperative cancellation: replay stops between rounds once ctx is
+// canceled, returning the partial Result and an error wrapping
+// ErrCanceled. An uncanceled context is bit-identical to the context-free
+// form.
+func ExecuteScheduleObservedContext(ctx context.Context, g *graph.Graph, sources []int32, s *Schedule, policy TransmitterPolicy, obs trace.Observer) (Result, error) {
 	e := NewEngineMulti(g, sources, policy)
 	e.Attach(obs)
-	return executeScheduleOn(e, s)
+	return executeScheduleOnCtx(ctx, e, s)
 }
 
 func executeScheduleOn(e *Engine, s *Schedule) (Result, error) {
+	return executeScheduleOnCtx(context.Background(), e, s)
+}
+
+// executeScheduleOnCtx replays the schedule with a cancellation check
+// between rounds. Replay consumes no randomness, so the check cannot
+// perturb results: an uncanceled context yields output bit-identical to
+// the context-free path. On cancellation the partial Result is returned
+// alongside an error wrapping ErrCanceled and the context's cause.
+func executeScheduleOnCtx(ctx context.Context, e *Engine, s *Schedule) (Result, error) {
 	e.observeBegin(s.Len())
 	for _, set := range s.Sets {
 		if e.Done() {
 			break
+		}
+		if ctx.Err() != nil {
+			e.observeEnd()
+			return resultOf(e), Canceled(ctx)
 		}
 		if _, err := e.Round(set); err != nil {
 			e.observeEnd()
@@ -620,6 +643,16 @@ func (e *Engine) PerNodeSampling() bool { return e.perNode }
 // sampling is not forced), uniform rounds draw their transmitter set by
 // binomial cohort sampling in O(k) instead of O(n).
 func (e *Engine) runProtocol(p Protocol, maxRounds int, rng *xrand.Rand) {
+	e.runProtocolCtx(context.Background(), p, maxRounds, rng)
+}
+
+// runProtocolCtx is runProtocol with a cancellation check between rounds.
+// The check consumes no randomness (and context.Background's Err is a
+// constant nil), so an uncanceled run is bit-for-bit identical to the
+// context-free path. On cancellation the engine keeps its partial state —
+// callers build the partial Result from it — and the returned error wraps
+// ErrCanceled together with the context's cause.
+func (e *Engine) runProtocolCtx(ctx context.Context, p Protocol, maxRounds int, rng *xrand.Rand) error {
 	e.observeBegin(maxRounds)
 	defer e.observeEnd()
 	up, _ := p.(UniformProtocol)
@@ -632,6 +665,9 @@ func (e *Engine) runProtocol(p Protocol, maxRounds int, rng *xrand.Rand) {
 		e.eligAllOK, e.eligCohortOK = false, false
 	}
 	for e.round < maxRounds && !e.Done() {
+		if ctx.Err() != nil {
+			return Canceled(ctx)
+		}
 		round := e.round + 1
 		var tx []int32
 		sampled := false
@@ -662,6 +698,7 @@ func (e *Engine) runProtocol(p Protocol, maxRounds int, rng *xrand.Rand) {
 			e.appendEligible(newly)
 		}
 	}
+	return nil
 }
 
 // sampleTransmitters draws a uniform round's transmitter set: every node
@@ -776,4 +813,36 @@ func BroadcastTimeOn(e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) int 
 		return maxRounds + 1
 	}
 	return e.round
+}
+
+// RunProtocolContext drives p on the engine's CURRENT state — no reset —
+// with cooperative cancellation: the round loop checks ctx between rounds
+// and stops as soon as it is canceled, returning the partial Result
+// together with an error wrapping ErrCanceled and the context's cause.
+// The check consumes no randomness, so an uncanceled context yields output
+// bit-for-bit identical to RunProtocol's.
+func (e *Engine) RunProtocolContext(ctx context.Context, p Protocol, maxRounds int, rng *xrand.Rand) (Result, error) {
+	err := e.runProtocolCtx(ctx, p, maxRounds, rng)
+	return resultOf(e), err
+}
+
+// RunProtocolOnContext is RunProtocolOn with cooperative cancellation
+// (reset first; see RunProtocolContext for the cancellation contract).
+func RunProtocolOnContext(ctx context.Context, e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) (Result, error) {
+	e.Reset()
+	err := e.runProtocolCtx(ctx, p, maxRounds, rng)
+	return resultOf(e), err
+}
+
+// BroadcastTimeOnContext is BroadcastTimeOn with cooperative cancellation.
+// A canceled run reports the sentinel maxRounds+1 (it did not complete)
+// alongside the wrapping error, so aggregators that ignore the error still
+// see a sane value.
+func BroadcastTimeOnContext(ctx context.Context, e *Engine, p Protocol, maxRounds int, rng *xrand.Rand) (int, error) {
+	e.Reset()
+	err := e.runProtocolCtx(ctx, p, maxRounds, rng)
+	if !e.Done() {
+		return maxRounds + 1, err
+	}
+	return e.round, err
 }

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCacheSingleflight is the exactly-one-build check: N concurrent Gets
+// for the same instance coalesce into a single generation — one miss,
+// N-1 hits/coalesced waiters, and every caller gets the same *Graph.
+// Run under -race this also proves the coalescing is synchronised.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewGraphCache(4)
+	key := GraphKey{Generator: "gnp-connected", N: 500, D: 8, Seed: 1}
+
+	const callers = 16
+	graphs := make([]any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g, err := c.Get(key)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			graphs[i] = g
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 1; i < callers; i++ {
+		if graphs[i] != graphs[0] {
+			t.Fatalf("caller %d got a different graph instance", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 build", st.Misses)
+	}
+	if st.Hits+st.Coalesced != callers-1 {
+		t.Fatalf("hits (%d) + coalesced (%d) = %d, want %d", st.Hits, st.Coalesced, st.Hits+st.Coalesced, callers-1)
+	}
+	if st.Size != 1 {
+		t.Fatalf("cache size = %d, want 1", st.Size)
+	}
+}
+
+// TestCacheLRUEviction: inserting past capacity evicts the least
+// recently used key, which then rebuilds on the next Get.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewGraphCache(2)
+	k := func(seed uint64) GraphKey { return GraphKey{Generator: "gnp", N: 50, D: 4, Seed: seed} }
+
+	if _, err := c.Get(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(k(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Touch 1 so 2 is the LRU victim.
+	if _, err := c.Get(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(k(3)); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("evictions = %d size = %d, want 1 and 2", st.Evictions, st.Size)
+	}
+	// 2 was evicted: getting it again is a miss; 1 survived: a hit.
+	before := c.Stats()
+	if _, err := c.Get(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Hits != before.Hits+1 {
+		t.Fatal("key 1 should have survived eviction")
+	}
+	if _, err := c.Get(k(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats().Misses != before.Misses+1 {
+		t.Fatal("key 2 should have been evicted and rebuilt")
+	}
+}
+
+// TestCacheDeterministicInstances: distinct keys yield distinct graphs,
+// and a key identifies one deterministic instance.
+func TestCacheDeterministicInstances(t *testing.T) {
+	c := NewGraphCache(8)
+	a, err := c.Get(GraphKey{Generator: "gnp", N: 100, D: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Get(GraphKey{Generator: "gnp", N: 100, D: 6, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("different seeds returned the same cached graph")
+	}
+	if a.N() != 100 || b.N() != 100 {
+		t.Fatalf("wrong graph sizes %d, %d", a.N(), b.N())
+	}
+}
+
+// TestCacheUnknownGenerator: build failures propagate and are not cached.
+func TestCacheUnknownGenerator(t *testing.T) {
+	c := NewGraphCache(2)
+	if _, err := c.Get(GraphKey{Generator: "nope", N: 10, D: 1, Seed: 1}); err == nil {
+		t.Fatal("unknown generator did not error")
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Fatalf("failed build was cached (size %d)", st.Size)
+	}
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var (
+	// ErrBusy marks a request rejected because the queue is full. The
+	// server maps it to 429 with a Retry-After hint — explicit
+	// backpressure instead of unbounded queueing.
+	ErrBusy = errors.New("serve: queue full")
+
+	// ErrClosed marks a request that arrived after shutdown began; the
+	// server maps it to 503.
+	ErrClosed = errors.New("serve: shutting down")
+)
+
+// Pool is a bounded worker pool with an explicitly sized queue. Do either
+// admits a job — which then runs to completion on one of the workers —
+// or rejects it immediately with ErrBusy/ErrClosed; nothing ever queues
+// beyond the configured bound, so memory under overload is capped and
+// clients see backpressure instead of creeping latency.
+//
+// Shutdown is graceful and two-staged: intake stops at once, queued and
+// running jobs get a grace period to drain naturally, and whatever is
+// still running after the grace is canceled through its context (the
+// simulation engine checks between rounds, so cancellation is prompt and
+// loss-free — partial results carry repro.ErrCanceled).
+type Pool struct {
+	workers int
+	queue   chan *poolJob
+	base    context.Context // canceled after the drain grace expires
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+
+	running   atomic.Int64
+	completed atomic.Int64
+	rejected  atomic.Int64
+}
+
+type poolJob struct {
+	ctx  context.Context
+	fn   func(ctx context.Context) error
+	err  error
+	done chan struct{}
+}
+
+// NewPool starts workers goroutines consuming a queue of queueCap
+// pending jobs (beyond the ones actively running).
+func NewPool(workers, queueCap int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	base, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		workers: workers,
+		queue:   make(chan *poolJob, queueCap),
+		base:    base,
+		cancel:  cancel,
+	}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for j := range p.queue {
+				p.running.Add(1)
+				j.err = j.fn(j.ctx)
+				p.running.Add(-1)
+				p.completed.Add(1)
+				close(j.done)
+			}
+		}()
+	}
+	return p
+}
+
+// Do submits fn and waits for it to finish, returning fn's error. The
+// job's context is ctx merged with the pool's shutdown context: whichever
+// cancels first cancels the job. If the queue is full Do returns ErrBusy
+// without blocking; after Shutdown began it returns ErrClosed.
+func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context) error) error {
+	jctx, jcancel := context.WithCancel(ctx)
+	defer jcancel()
+	// Propagate pool shutdown into the job's context.
+	stop := context.AfterFunc(p.base, jcancel)
+	defer stop()
+
+	j := &poolJob{ctx: jctx, fn: fn, done: make(chan struct{})}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.rejected.Add(1)
+		return ErrClosed
+	}
+	var admitted bool
+	select {
+	case p.queue <- j:
+		admitted = true
+	default:
+	}
+	p.mu.Unlock()
+	if !admitted {
+		p.rejected.Add(1)
+		return ErrBusy
+	}
+	// The worker always picks the job up (shutdown drains the queue) and
+	// cancellation flows through jctx, so waiting on done alone cannot
+	// hang.
+	<-j.done
+	return j.err
+}
+
+// Shutdown stops intake immediately, lets queued and running jobs drain
+// for up to grace, then cancels everything still running and waits for
+// the workers to exit. It is safe to call once.
+func (p *Pool) Shutdown(grace time.Duration) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.queue) // no sender remains: Do enqueues only under mu with !closed
+	p.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(grace):
+		p.cancel()
+		<-drained
+	}
+	p.cancel()
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		Queued:    len(p.queue),
+		QueueCap:  cap(p.queue),
+		Running:   p.running.Load(),
+		Completed: p.completed.Load(),
+		Rejected:  p.rejected.Load(),
+	}
+}
+
+// PoolStats is the /metrics view of a Pool.
+type PoolStats struct {
+	Workers   int   `json:"workers"`
+	Queued    int   `json:"queued"`
+	QueueCap  int   `json:"queue_cap"`
+	Running   int64 `json:"running"`
+	Completed int64 `json:"completed"`
+	Rejected  int64 `json:"rejected"`
+}

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolBackpressure: with every worker busy and the queue full, Do
+// rejects immediately with ErrBusy — it never blocks the caller and never
+// queues beyond the bound.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Shutdown(time.Second)
+
+	block := make(chan struct{})
+	started := make(chan struct{})
+	var wg sync.WaitGroup
+	// Occupy the worker...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func(ctx context.Context) error {
+			close(started)
+			<-block
+			return nil
+		})
+	}()
+	<-started
+	// ...and the one queue slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		p.Do(context.Background(), func(ctx context.Context) error { return nil })
+	}()
+	// The queue slot fill races with this check; poll until it lands.
+	deadline := time.After(5 * time.Second)
+	for p.Stats().Queued == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("queued job never appeared")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	if err := p.Do(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrBusy) {
+		t.Fatalf("saturated pool: err = %v, want ErrBusy", err)
+	}
+	if got := p.Stats().Rejected; got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+	close(block)
+	wg.Wait()
+}
+
+// TestPoolShutdownDrains: jobs admitted before Shutdown complete
+// normally when they fit in the grace; Do after Shutdown returns
+// ErrClosed.
+func TestPoolShutdownDrains(t *testing.T) {
+	p := NewPool(1, 4)
+	ran := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(ctx context.Context) error {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+				return nil
+			})
+		}()
+	}
+	wg.Wait()
+	p.Shutdown(5 * time.Second)
+	mu.Lock()
+	if ran != 3 {
+		t.Fatalf("only %d/3 jobs ran before shutdown", ran)
+	}
+	mu.Unlock()
+	if err := p.Do(context.Background(), func(ctx context.Context) error { return nil }); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-shutdown Do: err = %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolShutdownCancelsAfterGrace: a job that outlives the grace period
+// is canceled through its context rather than blocking shutdown forever.
+func TestPoolShutdownCancelsAfterGrace(t *testing.T) {
+	p := NewPool(1, 1)
+	started := make(chan struct{})
+	var jobErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		jobErr = p.Do(context.Background(), func(ctx context.Context) error {
+			close(started)
+			<-ctx.Done()
+			return ctx.Err()
+		})
+	}()
+	<-started
+	finished := make(chan struct{})
+	go func() {
+		p.Shutdown(10 * time.Millisecond)
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Shutdown hung on a job that ignores the grace period")
+	}
+	<-done
+	if !errors.Is(jobErr, context.Canceled) {
+		t.Fatalf("job err = %v, want context.Canceled via pool shutdown", jobErr)
+	}
+}

@@ -1,0 +1,92 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// TestRunWithContextUncanceledMatchesRunWith: with a context that never
+// cancels, RunWithContext produces exactly RunWith's measurements and a
+// nil error.
+func TestRunWithContextUncanceledMatchesRunWith(t *testing.T) {
+	const trials = 64
+	want := RunWith(trials, 11,
+		func() struct{} { return struct{}{} },
+		func(rng *xrand.Rand, _ struct{}) float64 { return rng.Float64() })
+	got, done, err := RunWithContext(context.Background(), trials, 11,
+		func() struct{} { return struct{}{} },
+		func(_ context.Context, rng *xrand.Rand, _ struct{}) float64 { return rng.Float64() })
+	if err != nil {
+		t.Fatalf("uncanceled sweep returned error %v", err)
+	}
+	if done != trials {
+		t.Fatalf("done = %d, want %d", done, trials)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: %v != RunWith's %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunWithContextCancelIsLossFree: canceling mid-sweep stops dispatch,
+// returns an error wrapping radio.ErrCanceled, and leaves every completed
+// entry bit-identical to the uncanceled sweep — nothing measured is lost,
+// nothing half-measured is reported (unfinished entries are NaN).
+func TestRunWithContextCancelIsLossFree(t *testing.T) {
+	const trials = 256
+	want := RunWith(trials, 23,
+		func() struct{} { return struct{}{} },
+		func(rng *xrand.Rand, _ struct{}) float64 { return rng.Float64() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var completed atomic.Int64
+	got, done, err := RunWithContext(ctx, trials, 23,
+		func() struct{} { return struct{}{} },
+		func(ctx context.Context, rng *xrand.Rand, _ struct{}) float64 {
+			if ctx.Err() != nil {
+				return math.NaN() // a canceled trial reports no measurement
+			}
+			v := rng.Float64()
+			if completed.Add(1) == 10 {
+				cancel()
+			}
+			return v
+		})
+	if !errors.Is(err, radio.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if done < 10 || done >= trials {
+		t.Fatalf("done = %d, want partial progress in [10, %d)", done, trials)
+	}
+	n := 0
+	for i := range got {
+		if math.IsNaN(got[i]) {
+			continue
+		}
+		n++
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: canceled sweep recorded %v, uncanceled sweep %v", i, got[i], want[i])
+		}
+	}
+	if n != done {
+		t.Fatalf("done = %d but %d non-NaN entries", done, n)
+	}
+}
+
+// TestRunWithContextZeroTrials mirrors Run's zero-trials contract.
+func TestRunWithContextZeroTrials(t *testing.T) {
+	out, done, err := RunWithContext(context.Background(), 0, 1,
+		func() struct{} { return struct{}{} },
+		func(context.Context, *xrand.Rand, struct{}) float64 { return 0 })
+	if len(out) != 0 || done != 0 || err != nil {
+		t.Fatalf("zero-trial sweep: out=%v done=%d err=%v", out, done, err)
+	}
+}

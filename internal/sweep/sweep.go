@@ -5,9 +5,12 @@
 package sweep
 
 import (
+	"context"
+	"math"
 	"runtime"
 	"sync"
 
+	"repro/internal/radio"
 	"repro/internal/trace"
 	"repro/internal/xrand"
 )
@@ -97,6 +100,73 @@ func RunWith[C any](trials int, baseSeed uint64, newCtx func() C, trial func(rng
 	close(next)
 	wg.Wait()
 	return out
+}
+
+// RunWithContext is RunWith with cooperative cancellation: once ctx is
+// canceled, workers stop taking new trials and the trial callback receives
+// the canceled context so a context-aware trial (radio.BroadcastTimeOnContext,
+// repro.RunContext) can abandon its remaining rounds too. It returns the
+// measurements indexed by trial — entries whose trials never ran (or were
+// canceled mid-flight and reported NaN themselves) hold NaN — plus the
+// number of completed (non-NaN) trials and, when canceled, an error
+// wrapping radio.ErrCanceled and the context's cause.
+//
+// Completed entries carry exactly the values an uncanceled sweep produces
+// for those indices (per-trial seeds are derived identically up front), so
+// a canceled sweep's partial output is loss-free: nothing already measured
+// is discarded, and nothing half-measured is reported.
+func RunWithContext[C any](ctx context.Context, trials int, baseSeed uint64, newCtx func() C,
+	trial func(ctx context.Context, rng *xrand.Rand, c C) float64) ([]float64, int, error) {
+	out := make([]float64, trials)
+	if trials <= 0 {
+		return out[:0], 0, ctx.Err()
+	}
+	for i := range out {
+		out[i] = math.NaN()
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > trials {
+		workers = trials
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	rngs := make([]*xrand.Rand, trials)
+	for i, seed := range Seeds(trials, baseSeed) {
+		rngs[i] = xrand.New(seed)
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := newCtx()
+			for i := range next {
+				out[i] = trial(ctx, rngs[i], c)
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < trials; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(next)
+	wg.Wait()
+	done := 0
+	for _, v := range out {
+		if !math.IsNaN(v) {
+			done++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return out, done, radio.Canceled(ctx)
+	}
+	return out, done, nil
 }
 
 // RunObserved is RunWith with per-worker trace observers: each worker

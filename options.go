@@ -8,7 +8,7 @@ package repro
 // behaviour (same randomness stream, bit-for-bit identical results).
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -19,6 +19,7 @@ import (
 type Option func(*runConfig)
 
 type runConfig struct {
+	ctx       context.Context
 	degree    float64
 	hasDegree bool
 	protocol  Protocol
@@ -89,6 +90,17 @@ func WithSources(sources ...int32) Option {
 	return func(c *runConfig) { c.extraSrc = append(c.extraSrc, sources...) }
 }
 
+// WithContext attaches a context to the run: the engine checks for
+// cancellation between rounds and, once the context is canceled, stops and
+// returns the partial Result together with an error wrapping ErrCanceled
+// and the context's cause. The check consumes no randomness, so a run
+// under an uncanceled context is bit-for-bit identical to one without.
+// WithContext(ctx) is equivalent to calling RunContext(ctx, ...); when
+// both are given, the option wins.
+func WithContext(ctx context.Context) Option {
+	return func(c *runConfig) { c.ctx = ctx }
+}
+
 // WithPerNodeSampling disables the sampled-transmitter fast path: the
 // protocol loop asks the protocol for a per-node transmit decision for
 // every informed node each round, even when the protocol declares uniform
@@ -125,26 +137,51 @@ func WithPerNodeSampling() Option {
 // reproduce pre-fast-path runs exactly (the deprecated positional
 // wrappers do this, and so stay bit-for-bit stable).
 func Run(g *Graph, src int32, opts ...Option) (Result, error) {
-	var c runConfig
+	return RunContext(context.Background(), g, src, opts...)
+}
+
+// RunContext is Run with cooperative cancellation: the engine checks ctx
+// between rounds and, once it is canceled, returns the partial Result —
+// reflecting exactly the rounds executed so far — together with an error
+// for which errors.Is reports ErrCanceled as well as the context's own
+// cause (context.Canceled or context.DeadlineExceeded). The cancellation
+// check consumes no randomness, so with an uncanceled context RunContext
+// is bit-for-bit identical to Run; Run itself is
+// RunContext(context.Background(), ...).
+//
+// Errors are classified by the exported sentinels (see errors.go):
+// invalid option combinations wrap ErrConflictingOptions, out-of-range
+// sources wrap ErrNoSuchSource, schedule violations wrap
+// ErrScheduleMismatch.
+func RunContext(ctx context.Context, g *Graph, src int32, opts ...Option) (Result, error) {
+	c := runConfig{ctx: ctx}
 	for _, o := range opts {
 		o(&c)
 	}
+	if c.ctx == nil {
+		c.ctx = context.Background()
+	}
 	switch {
 	case c.protocol != nil && c.hasDegree:
-		return Result{}, errors.New("repro.Run: WithProtocol and WithDegree are mutually exclusive")
+		return Result{}, fmt.Errorf("%w: WithProtocol and WithDegree are mutually exclusive", ErrConflictingOptions)
 	case c.schedule != nil && (c.protocol != nil || c.hasDegree):
-		return Result{}, errors.New("repro.Run: WithSchedule excludes WithProtocol/WithDegree")
+		return Result{}, fmt.Errorf("%w: WithSchedule excludes WithProtocol/WithDegree", ErrConflictingOptions)
 	case c.schedule != nil && c.hasMax:
-		return Result{}, errors.New("repro.Run: WithSchedule excludes WithMaxRounds (the schedule length is the budget)")
+		return Result{}, fmt.Errorf("%w: WithSchedule excludes WithMaxRounds (the schedule length is the budget)", ErrConflictingOptions)
 	case c.rng != nil && c.hasSeed:
-		return Result{}, errors.New("repro.Run: WithRand and WithSeed are mutually exclusive")
+		return Result{}, fmt.Errorf("%w: WithRand and WithSeed are mutually exclusive", ErrConflictingOptions)
 	case c.hasMax && c.maxRounds < 0:
-		return Result{}, fmt.Errorf("repro.Run: negative round budget %d", c.maxRounds)
+		return Result{}, fmt.Errorf("%w: negative round budget %d", ErrConflictingOptions, c.maxRounds)
 	}
 
 	sources := append([]int32{src}, c.extraSrc...)
+	for _, s := range sources {
+		if s < 0 || int(s) >= g.N() {
+			return Result{}, fmt.Errorf("%w: source %d outside [0,%d)", ErrNoSuchSource, s, g.N())
+		}
+	}
 	if c.schedule != nil {
-		return radio.ExecuteScheduleObserved(g, sources, c.schedule, radio.StrictInformed, c.obs)
+		return radio.ExecuteScheduleObservedContext(c.ctx, g, sources, c.schedule, radio.StrictInformed, c.obs)
 	}
 
 	rng := c.rng
@@ -172,7 +209,7 @@ func Run(g *Graph, src int32, opts ...Option) (Result, error) {
 	if c.perNode {
 		e.SetPerNodeSampling(true)
 	}
-	return e.RunProtocol(p, maxRounds, rng), nil
+	return e.RunProtocolContext(c.ctx, p, maxRounds, rng)
 }
 
 // meanDegree returns 2m/n, the graph's empirical average degree (the

@@ -162,44 +162,11 @@ func BuildSchedule(g *Graph, src int32, d float64, seed uint64) (*Schedule, erro
 	return sched, err
 }
 
-// ExecuteSchedule replays a schedule on g from src under the strict radio
-// model and returns the result.
-//
-// Deprecated: use Run(g, src, WithSchedule(s)); ExecuteSchedule is its
-// positional form and behaves identically.
-func ExecuteSchedule(g *Graph, src int32, s *Schedule) (Result, error) {
-	return Run(g, src, WithSchedule(s))
-}
-
 // NewProtocol returns the paper's distributed randomized protocol
 // (Theorem 7) for n nodes and expected degree d. Nodes need only n, d and
 // the shared round number; completion takes O(ln n) rounds w.h.p.
 func NewProtocol(n int, d float64) Protocol {
 	return core.NewDistributedProtocol(n, d)
-}
-
-// Broadcast runs the paper's distributed protocol on g from src with a
-// generous round budget and returns the result.
-//
-// Deprecated: use Run(g, src, WithDegree(d), WithRand(rng)); Broadcast is
-// its positional form. Broadcast keeps the historical per-node randomness
-// stream (it opts out of the sampled fast path), so its outputs at a
-// fixed seed are bit-for-bit stable across releases; plain Run draws the
-// same transmitter-set distribution through the faster sampled stream.
-func Broadcast(g *Graph, src int32, d float64, rng *Rand) Result {
-	res, _ := Run(g, src, WithDegree(d), WithRand(rng), WithPerNodeSampling()) // cannot fail: no schedule
-	return res
-}
-
-// RunProtocol simulates an arbitrary distributed protocol for at most
-// maxRounds rounds.
-//
-// Deprecated: use Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds),
-// WithRand(rng)); RunProtocol is its positional form. Like Broadcast it
-// keeps the historical per-node randomness stream.
-func RunProtocol(g *Graph, src int32, p Protocol, maxRounds int, rng *Rand) Result {
-	res, _ := Run(g, src, WithProtocol(p), WithMaxRounds(maxRounds), WithRand(rng), WithPerNodeSampling())
-	return res
 }
 
 // BroadcastTime runs p and returns the completion round, or maxRounds+1
