@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint bench experiments verify cover race campaign-smoke fuzz-smoke serve-smoke clean
+.PHONY: all build test vet lint bench bench-record experiments verify cover race campaign-smoke fuzz-smoke serve-smoke clean
 
 all: build vet test
 
@@ -25,6 +25,21 @@ cover:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Regenerate BENCH_3.json: run the scalar reference and both lane
+# benchmarks, then let scripts/benchrecord parse the output, enforce the
+# >= 6x acceptance bar vs BENCH_2's recorded scalar trial cost, and write
+# the record. Override DATE to restamp (same input + same DATE => same
+# JSON, so regeneration is diffable).
+DATE ?= 2026-08-08
+bench-record:
+	go test -run '^$$' -bench 'BenchmarkBroadcastReuse$$|BenchmarkLaneBroadcast$$|BenchmarkLaneBroadcastSmall$$' \
+		-benchmem -benchtime 2s . > /tmp/bench-record.out
+	go run ./scripts/benchrecord -in /tmp/bench-record.out -date $(DATE) \
+		-comment "PR 8 acceptance record: bit-parallel lane engine (internal/lanes) vs the scalar sampled fast path. The headline metric is BenchmarkLaneBroadcast ns/trial (64 lane-parallel trials per op) against BENCH_2's per-trial scalar cost on the same n=100000 d=25 connected Gnp workload." \
+		-ref-name "BenchmarkBroadcastReuse in BENCH_2.json (scalar sampled fast path, same workload and machine)" \
+		-ref-ns 36789982 -accept-ratio 6 -out BENCH_3.json
+	@echo "bench-record: wrote BENCH_3.json"
 
 # Regenerate the EXPERIMENTS.md tables (medium scale, recorded seed).
 experiments:

@@ -18,6 +18,7 @@ import (
 	"testing"
 
 	"repro/internal/exp"
+	"repro/internal/lanes"
 	"repro/internal/radio"
 	"repro/internal/rumor"
 )
@@ -192,6 +193,57 @@ func BenchmarkBroadcastReusePerNode(b *testing.B) {
 			b.Fatal("incomplete")
 		}
 	}
+}
+
+// BenchmarkLaneBroadcast measures the bit-parallel lane engine on exactly
+// the BenchmarkBroadcastReuse workload (same graph seed, n, degree,
+// protocol and round budget): each iteration runs one 64-trial lane block,
+// so the recorded ns/trial metric divides directly into the scalar
+// benchmark's ns/op — that ratio is the lane-engine speedup recorded in
+// BENCH_3.json. Seeds rotate per iteration so the measurement averages
+// over trial outcomes like the scalar benchmark's advancing rng does.
+func BenchmarkLaneBroadcast(b *testing.B) {
+	benchLaneBroadcast(b, 100000, 25.0)
+}
+
+// BenchmarkLaneBroadcastSmall is BenchmarkLaneBroadcast at n=10k — the
+// second row of the EXPERIMENTS.md throughput table, where the working
+// set fits in cache and the lane advantage is at its largest.
+func BenchmarkLaneBroadcastSmall(b *testing.B) {
+	benchLaneBroadcast(b, 10000, 25.0)
+}
+
+func benchLaneBroadcast(b *testing.B, n int, d float64) {
+	rng := NewRand(13)
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	p := NewProtocol(n, d)
+	budget := MaxRounds(n)
+	plan, ok := lanes.NewPlan(p, budget)
+	if !ok {
+		b.Fatal("distributed protocol must be lane-uniform")
+	}
+	e := lanes.NewEngine(g, []int32{0}, plan)
+	parent := NewRand(1)
+	seeds := make([]uint64, lanes.Width)
+	out := make([]int, lanes.Width)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		base := uint64(i) * lanes.Width
+		for j := range seeds {
+			seeds[j] = parent.DeriveSeed(base + uint64(j) + 1)
+		}
+		e.Run(seeds, out)
+		for _, r := range out {
+			if r > budget {
+				b.Fatal("incomplete")
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*lanes.Width), "ns/trial")
 }
 
 // BenchmarkGossipPhased measures one phased gossip run (sampled fast path:

@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	campaign spec   -preset e1|e4|collision-rate|scale|smoke
+//	campaign spec   -preset e1|e4|collision-rate|scale|smoke|lane-smoke
 //	                [-scale small|medium|full] [-seed S] [-trials N]
-//	campaign run    -spec FILE -out DIR [-workers N] [-resume]
+//	campaign run    -spec FILE -out DIR [-workers N] [-lanes N] [-resume]
 //	                [-halt-after N] [-points LO:HI] [-json] [-quiet]
-//	campaign resume -out DIR [-workers N] [-json] [-quiet]
+//	campaign resume -out DIR [-workers N] [-lanes N] [-json] [-quiet]
 //	campaign report -out DIR [-json]
 //	campaign merge  -out DIR SRC1 SRC2 ...
 //
@@ -19,6 +19,13 @@
 // recomputes the report from a checkpoint without running anything.
 // `merge` unions checkpoints of the same spec recorded by different
 // machines (run with disjoint -points slices) into one directory.
+//
+// Fixed-graph points of the lane-capable kinds (distributed, decay,
+// aloha) run on the bit-parallel lane engine, -lanes trials per block
+// (0 = auto, 1 = force scalar). The report is byte-identical for every
+// lane setting >= 2 and 0; scalar runs draw a different (but
+// distributionally identical) stream, so a checkpoint records its engine
+// and refuses to resume a lane-sensitive spec under the other one.
 //
 // Example — the kill-and-resume loop the CI smoke job runs:
 //
@@ -81,9 +88,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   campaign spec   -preset NAME [-scale small|medium|full] [-seed S] [-trials N]
-  campaign run    -spec FILE -out DIR [-workers N] [-resume] [-halt-after N]
-                  [-points LO:HI] [-json] [-quiet]
-  campaign resume -out DIR [-workers N] [-json] [-quiet]
+  campaign run    -spec FILE -out DIR [-workers N] [-lanes N] [-resume]
+                  [-halt-after N] [-points LO:HI] [-json] [-quiet]
+  campaign resume -out DIR [-workers N] [-lanes N] [-json] [-quiet]
   campaign report -out DIR [-json]
   campaign merge  -out DIR SRC1 SRC2 ...`)
 }
@@ -94,6 +101,17 @@ func cmdSpec(args []string) error {
 	scale := fs.String("scale", "small", "ladder scale: small, medium or full")
 	seed := fs.Uint64("seed", 2006, "campaign base seed")
 	trials := fs.Int("trials", 0, "override per-point trial budget (0 = preset default)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: campaign spec -preset NAME [-scale small|medium|full] [-seed S] [-trials N]")
+		fs.PrintDefaults()
+		fmt.Fprintln(os.Stderr, `
+Lane fast path: points whose trial sets "fixed_graph": true with kind
+"distributed", "decay" or "aloha" dispatch in bit-parallel lane blocks
+under 'campaign run -lanes' (0 = auto, 1 = force scalar). Every other
+kind — and every fresh-graph point — runs on the scalar per-trial
+engine regardless of -lanes. The 'lane-smoke' preset is an all-lane
+grid for exercising this path.`)
+	}
 	fs.Parse(args)
 	if *preset == "" {
 		return fmt.Errorf("spec: -preset is required (have %v)", campaign.Presets())
@@ -115,6 +133,7 @@ func cmdRun(args []string, resume bool) error {
 	specPath := fs.String("spec", "", "campaign spec JSON ('-' for stdin; resume reads it from the checkpoint)")
 	out := fs.String("out", "", "checkpoint directory (required)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS); the report does not depend on it")
+	lanesN := fs.Int("lanes", 0, "lane-block size for fixed-graph distributed/decay/aloha points (0 = auto, 1 = force scalar); the report is identical for every value >= 2 and 0")
 	resumeFlag := fs.Bool("resume", false, "resume from the checkpoint in -out, running only missing trials")
 	haltAfter := fs.Int("halt-after", 0, "halt after N new samples (deterministic interruption for smoke tests)")
 	points := fs.String("points", "", "restrict to grid points LO:HI (half-open) for cross-machine sharding")
@@ -161,6 +180,7 @@ func cmdRun(args []string, resume bool) error {
 		Dir:       *out,
 		Resume:    resume,
 		HaltAfter: *haltAfter,
+		Lanes:     *lanesN,
 	}
 	if !*quiet {
 		opt.Progress = os.Stderr

@@ -59,6 +59,28 @@ type Manifest struct {
 	// Complete reports that the campaign ran to completion (every point
 	// exhausted its budget or stopped adaptively).
 	Complete bool `json:"complete"`
+	// Engine records which trial engine produced the samples: "" (or a
+	// missing field, in checkpoints recorded before lane batching) for the
+	// scalar per-trial engine, EngineLanes for the bit-parallel lane
+	// engine. The two draw different — distributionally identical —
+	// randomness streams for lane-capable points, so resuming or merging a
+	// lane-sensitive spec refuses a mismatch rather than silently mixing
+	// streams within one checkpoint.
+	Engine string `json:"engine,omitempty"`
+}
+
+// Engine tags recorded in Manifest.Engine.
+const (
+	EngineScalar = ""      // scalar per-trial engine (and all pre-lane checkpoints)
+	EngineLanes  = "lanes" // bit-parallel lane engine (lane-capable points only)
+)
+
+// engineName renders an engine tag for error messages.
+func engineName(e string) string {
+	if e == EngineScalar {
+		return "scalar"
+	}
+	return e
 }
 
 const (
@@ -81,6 +103,7 @@ func shardOf(point, trial, shards int) int {
 type Checkpoint struct {
 	dir      string
 	spec     *Spec
+	engine   string // Manifest.Engine tag of this run
 	files    []*os.File
 	encs     []*trace.LineEncoder
 	recorded int
@@ -88,10 +111,11 @@ type Checkpoint struct {
 }
 
 // CreateCheckpoint initialises dir (creating it if needed) for a fresh
-// campaign run. It refuses a directory that already holds a checkpoint
+// campaign run recording samples from the given engine (EngineScalar or
+// EngineLanes). It refuses a directory that already holds a checkpoint
 // for a different spec; with the same spec it truncates and starts over
 // (use OpenCheckpoint + resume to keep recorded samples).
-func CreateCheckpoint(dir string, spec *Spec) (*Checkpoint, error) {
+func CreateCheckpoint(dir string, spec *Spec, engine string) (*Checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("campaign: creating checkpoint dir: %w", err)
 	}
@@ -99,7 +123,7 @@ func CreateCheckpoint(dir string, spec *Spec) (*Checkpoint, error) {
 		return nil, fmt.Errorf("campaign: %s holds a checkpoint for spec %q (hash %s); refusing to overwrite with spec %q (hash %s)",
 			dir, m.Name, m.SpecHash, spec.Name, spec.Hash())
 	}
-	c := &Checkpoint{dir: dir, spec: spec}
+	c := &Checkpoint{dir: dir, spec: spec, engine: engine}
 	for i := 0; i < spec.shards(); i++ {
 		f, err := os.Create(filepath.Join(dir, shardName(i)))
 		if err != nil {
@@ -121,7 +145,7 @@ func CreateCheckpoint(dir string, spec *Spec) (*Checkpoint, error) {
 // samples already recorded; corrupt lines anywhere in a shard (a line
 // torn by a crash, disk corruption) are skipped and counted — see
 // Checkpoint.SkippedLines — and the affected records simply rerun.
-func OpenCheckpoint(dir string, spec *Spec) (*Checkpoint, map[key]*Sample, error) {
+func OpenCheckpoint(dir string, spec *Spec, engine string) (*Checkpoint, map[key]*Sample, error) {
 	m, err := ReadManifest(dir)
 	if err != nil {
 		return nil, nil, err
@@ -130,11 +154,15 @@ func OpenCheckpoint(dir string, spec *Spec) (*Checkpoint, map[key]*Sample, error
 		return nil, nil, fmt.Errorf("campaign: checkpoint %s was recorded under spec hash %s, current spec hashes to %s; seeds are tied to the spec, refusing to resume",
 			dir, m.SpecHash, spec.Hash())
 	}
+	if m.Engine != engine && spec.laneSensitive() {
+		return nil, nil, fmt.Errorf("campaign: checkpoint %s was recorded by the %s engine, this run uses the %s engine; the streams differ for lane-capable points, refusing to mix them (rerun with the matching -lanes setting)",
+			dir, engineName(m.Engine), engineName(engine))
+	}
 	samples, skipped, err := loadSamples(dir, m, spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &Checkpoint{dir: dir, spec: spec, recorded: len(samples), skipped: skipped}
+	c := &Checkpoint{dir: dir, spec: spec, engine: engine, recorded: len(samples), skipped: skipped}
 	for i := 0; i < spec.shards(); i++ {
 		f, err := os.OpenFile(filepath.Join(dir, shardName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -270,6 +298,7 @@ func (c *Checkpoint) writeManifest(complete bool) error {
 		Shards:   shards,
 		Recorded: c.recorded,
 		Complete: complete,
+		Engine:   c.engine,
 	}
 	b, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -308,7 +337,7 @@ func Merge(dst string, srcs []string) (*Manifest, error) {
 		return nil, errors.New("campaign: merge needs at least one source")
 	}
 	var spec *Spec
-	var hash string
+	var hash, engine string
 	all := make(map[key]*Sample)
 	for _, src := range srcs {
 		m, samples, _, err := LoadSamples(src)
@@ -316,16 +345,19 @@ func Merge(dst string, srcs []string) (*Manifest, error) {
 			return nil, err
 		}
 		if spec == nil {
-			spec, hash = m.Spec, m.SpecHash
+			spec, hash, engine = m.Spec, m.SpecHash, m.Engine
 		} else if m.SpecHash != hash {
 			return nil, fmt.Errorf("campaign: %s was recorded under spec hash %s, %s under %s; refusing to merge different specs",
 				srcs[0], hash, src, m.SpecHash)
+		} else if m.Engine != engine && spec.laneSensitive() {
+			return nil, fmt.Errorf("campaign: %s was recorded by the %s engine, %s by the %s engine; the streams differ for lane-capable points, refusing to merge them",
+				srcs[0], engineName(engine), src, engineName(m.Engine))
 		}
 		for k, s := range samples {
 			all[k] = s
 		}
 	}
-	c, err := CreateCheckpoint(dst, spec)
+	c, err := CreateCheckpoint(dst, spec, engine)
 	if err != nil {
 		return nil, err
 	}

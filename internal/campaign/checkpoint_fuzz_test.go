@@ -35,7 +35,7 @@ func writeCheckpointDir(t testing.TB, content []byte) string {
 	t.Helper()
 	dir := t.TempDir()
 	spec := fuzzSpec()
-	c, err := CreateCheckpoint(dir, spec)
+	c, err := CreateCheckpoint(dir, spec, EngineScalar)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestLoadSamplesSkipsMidFileCorruption(t *testing.T) {
 	}
 
 	// Resume path: OpenCheckpoint tolerates and counts too.
-	c, resumed, err := OpenCheckpoint(dir, fuzzSpec())
+	c, resumed, err := OpenCheckpoint(dir, fuzzSpec(), EngineScalar)
 	if err != nil {
 		t.Fatal(err)
 	}

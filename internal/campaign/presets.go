@@ -23,6 +23,7 @@ var presets = map[string]presetFunc{
 	"collision-rate": presetCollisionRate,
 	"scale":          presetScale,
 	"smoke":          presetSmoke,
+	"lane-smoke":     presetLaneSmoke,
 }
 
 // Presets returns the available preset names, sorted.
@@ -194,6 +195,33 @@ func presetSmoke(scale string, seed uint64, trials int) (*Spec, error) {
 		Points: []PointSpec{
 			{ID: "n300", X: 300, Trial: TrialSpec{Kind: "distributed", N: 300, D: 12}},
 			{ID: "n600", X: 600, Trial: TrialSpec{Kind: "distributed", N: 600, D: 13}},
+		},
+	}, nil
+}
+
+// presetLaneSmoke is the lane-engine CI grid: fixed-graph points of every
+// lane-capable kind, so trials dispatch in lane blocks under the default
+// -lanes setting. Reports must be byte-identical for every -lanes value
+// >= 2 (and 0); see the lane invariance tests.
+func presetLaneSmoke(scale string, seed uint64, trials int) (*Spec, error) {
+	if trials <= 0 {
+		trials = 20
+	}
+	// The grid is fixed-size by design, but reject unknown scales like
+	// every other preset does.
+	if _, err := presetNLadder(scale); err != nil {
+		return nil, err
+	}
+	return &Spec{
+		Name:       "lane-smoke",
+		Seed:       seed,
+		Trials:     trials,
+		MaxRetries: 1,
+		Shards:     2,
+		Points: []PointSpec{
+			{ID: "dist-n400", X: 400, Trial: TrialSpec{Kind: "distributed", N: 400, D: 12, FixedGraph: true}},
+			{ID: "decay-n300", X: 300, Trial: TrialSpec{Kind: "decay", N: 300, D: 12, FixedGraph: true}},
+			{ID: "aloha-n300", X: 300, Trial: TrialSpec{Kind: "aloha", N: 300, D: 12, FixedGraph: true}},
 		},
 	}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/lanes"
 	"repro/internal/radio"
 	"repro/internal/sweep"
 	"repro/internal/xrand"
@@ -27,9 +28,11 @@ type Options struct {
 	// missing trials. Requires Dir.
 	Resume bool
 	// HaltAfter stops dispatching once that many new samples have been
-	// recorded this run (0 = run to completion) — the deterministic
-	// "kill" half of the kill-and-resume smoke test. The checkpoint is
-	// flushed before Run returns.
+	// dispatched this run (0 = run to completion) — the deterministic
+	// "kill" half of the kill-and-resume smoke test. In-flight trials
+	// still finish and are recorded, so slightly more than HaltAfter
+	// samples may land; with lane blocks the overshoot rounds up to the
+	// block boundary. The checkpoint is flushed before Run returns.
 	HaltAfter int
 	// FlushEvery is the checkpoint flush cadence in samples (0 = 64).
 	FlushEvery int
@@ -52,6 +55,15 @@ type Options struct {
 	// for sharding a campaign across machines; (0, 0) means the whole
 	// grid. Shard checkpoints recombine with Merge.
 	PointLo, PointHi int
+	// Lanes picks the trial engine for lane-capable points (FixedGraph
+	// distributed/decay/aloha): 0 means auto (lanes.Width-wide blocks on
+	// the bit-parallel engine), >= 2 dispatches blocks of that many
+	// trials, and 1 (or negative) forces the scalar per-trial engine.
+	// Lane purity makes reports byte-identical across every setting >= 2
+	// and 0; scalar runs draw a different (distributionally identical)
+	// stream, so checkpoints record the engine and refuse to resume a
+	// lane-sensitive spec under the other one.
+	Lanes int
 }
 
 func (o *Options) workers() int {
@@ -68,10 +80,40 @@ func (o *Options) flushEvery() int {
 	return 64
 }
 
-// workItem is one (point, trial) dispatch.
+func (o *Options) lanes() int {
+	switch {
+	case o.Lanes == 0 || o.Lanes > lanes.Width:
+		return lanes.Width
+	case o.Lanes < 1:
+		return 1
+	default:
+		return o.Lanes
+	}
+}
+
+// engineTag returns the Manifest.Engine value of a run: "lanes" when the
+// bit-parallel lane engine will produce samples for at least one point of
+// the spec, "" when everything runs scalar. Lane-insensitive specs always
+// tag "" — the engine choice cannot change their values.
+func engineTag(spec *Spec, lanesN int) string {
+	if lanesN > 1 && spec.laneSensitive() {
+		return EngineLanes
+	}
+	return EngineScalar
+}
+
+// workItem is one dispatch: a block of trials of one point. Scalar
+// dispatches carry a single trial; lane-capable points carry up to
+// Options.Lanes consecutive missing trials with their seeds.
 type workItem struct {
-	point, trial int
-	seed         uint64
+	point  int
+	trials []int
+	seeds  []uint64
+	// batch routes the item through the runner's BatchRunner capability.
+	// It is set for every block of a lane-dispatched point — including a
+	// trailing block of one trial — so a trial's engine (and therefore its
+	// randomness stream) never depends on where the block boundaries fall.
+	batch bool
 }
 
 // Run executes a campaign. The returned report is byte-identical (via
@@ -107,14 +149,15 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 		pointSeeds[p] = parent.DeriveSeed(uint64(p) + 1)
 	}
 
+	engine := engineTag(spec, opt.lanes())
 	samples := make(map[key]*Sample)
 	var ck *Checkpoint
 	var err error
 	if opt.Dir != "" {
 		if opt.Resume {
-			ck, samples, err = OpenCheckpoint(opt.Dir, spec)
+			ck, samples, err = OpenCheckpoint(opt.Dir, spec, engine)
 		} else {
-			ck, err = CreateCheckpoint(opt.Dir, spec)
+			ck, err = CreateCheckpoint(opt.Dir, spec, engine)
 		}
 		if err != nil {
 			return nil, err
@@ -139,16 +182,48 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 		}
 	}
 
-	// The work list interleaves trials across points (trial 0 of every
-	// point, then trial 1, ...) so adaptive stopping sees every point's
-	// early trials as soon as possible.
-	var items []workItem
-	for t := 0; t < spec.Trials; t++ {
-		for p := lo; p < hi; p++ {
-			if _, done := samples[key{p, t}]; done {
-				continue
+	// The work list interleaves blocks across points (block 0 of every
+	// point, then block 1, ...) so adaptive stopping sees every point's
+	// early trials as soon as possible. Scalar points emit one-trial
+	// blocks, reproducing the classic trial-major interleave; lane-capable
+	// points chunk their missing trials into Options.Lanes-sized blocks.
+	// Blocking only changes dispatch granularity: every sample remains a
+	// pure function of its own seed, and the aggregator consumes samples
+	// in trial order, so the report is independent of the block size.
+	lanesN := opt.lanes()
+	perPoint := make([][]workItem, 0, hi-lo)
+	maxBlocks := 0
+	for p := lo; p < hi; p++ {
+		var missing []int
+		for t := 0; t < spec.Trials; t++ {
+			if _, done := samples[key{p, t}]; !done {
+				missing = append(missing, t)
 			}
-			items = append(items, workItem{point: p, trial: t, seed: trialSeeds[p][t]})
+		}
+		size := 1
+		batch := lanesN > 1 && batchablePoint(spec.Points[p])
+		if batch {
+			size = lanesN
+		}
+		var blocks []workItem
+		for len(missing) > 0 {
+			k := min(size, len(missing))
+			it := workItem{point: p, trials: missing[:k:k], batch: batch}
+			for _, t := range it.trials {
+				it.seeds = append(it.seeds, trialSeeds[p][t])
+			}
+			blocks = append(blocks, it)
+			missing = missing[k:]
+		}
+		perPoint = append(perPoint, blocks)
+		maxBlocks = max(maxBlocks, len(blocks))
+	}
+	var items []workItem
+	for b := 0; b < maxBlocks; b++ {
+		for _, blocks := range perPoint {
+			if b < len(blocks) {
+				items = append(items, blocks[b])
+			}
 		}
 	}
 
@@ -177,6 +252,7 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 	resCh := make(chan *Sample, opt.workers())
 	go func() { // dispatcher
 		defer close(workCh)
+		dispatched := 0
 		for _, it := range items {
 			if stopped[it.point].Load() {
 				continue
@@ -185,6 +261,10 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 			case <-halt:
 				return
 			case workCh <- it:
+			}
+			dispatched += len(it.trials)
+			if opt.HaltAfter > 0 && dispatched >= opt.HaltAfter {
+				return
 			}
 		}
 	}()
@@ -277,51 +357,79 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 func runWorker(ctx context.Context, spec *Spec, pointSeeds []uint64, workCh <-chan workItem, resCh chan<- *Sample) {
 	runners := make(map[int]Runner)
 	for it := range workCh {
-		s := &Sample{
-			Point:   it.point,
-			PointID: spec.Points[it.point].ID,
-			Trial:   it.trial,
-			Seed:    it.seed,
-		}
-		canceled := false
+		var (
+			values   []float64
+			oks      []bool
+			retries  int
+			failErr  error
+			canceled bool
+		)
 		for attempt := 0; ; attempt++ {
-			value, ok, err := attemptTrial(ctx, spec, pointSeeds, runners, it)
+			var err error
+			values, oks, err = attemptItem(ctx, spec, pointSeeds, runners, it)
 			if errors.Is(err, radio.ErrCanceled) {
 				canceled = true
 				break
 			}
-			if err == nil && (math.IsNaN(value) || math.IsInf(value, 0)) {
-				err = fmt.Errorf("trial returned non-finite value %v", value)
+			if err == nil {
+				for _, v := range values {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						err = fmt.Errorf("trial returned non-finite value %v", v)
+						break
+					}
+				}
 			}
 			if err == nil {
-				s.Value, s.OK, s.Retries = value, ok, attempt
+				retries = attempt
 				break
 			}
 			// The panic may have left the cached runner (engine, scratch
 			// buffers) in an inconsistent state; rebuild it. Runners are
 			// deterministic functions of (point, pointSeed), so a rebuilt
-			// runner behaves identically to a fresh one.
+			// runner behaves identically to a fresh one. A block retries
+			// (and, once out of retries, fails) as a unit: its trials ran
+			// as one engine call, so no per-trial result can be trusted.
 			delete(runners, it.point)
 			if attempt >= spec.MaxRetries {
-				s.Failed = true
-				s.Err = err.Error()
-				s.Retries = attempt
+				failErr = err
+				retries = attempt
 				break
 			}
 		}
 		if canceled {
+			// Canceled blocks are dropped whole: recording any of their
+			// trials would make checkpoints depend on cancellation timing.
 			continue
 		}
-		resCh <- s
+		for i, t := range it.trials {
+			s := &Sample{
+				Point:   it.point,
+				PointID: spec.Points[it.point].ID,
+				Trial:   t,
+				Seed:    it.seeds[i],
+				Retries: retries,
+			}
+			if failErr != nil {
+				s.Failed = true
+				s.Err = failErr.Error()
+			} else {
+				s.Value, s.OK = values[i], oks[i]
+			}
+			resCh <- s
+		}
 	}
 }
 
-// attemptTrial runs one attempt of one trial, converting panics (in
-// runner construction or the trial itself) into errors. Runners that
-// implement ContextRunner get the worker's context so a campaign shutdown
-// cancels them mid-run; a resulting cancellation error is returned as-is
-// (wrapped in radio.ErrCanceled) for the caller to drop.
-func attemptTrial(ctx context.Context, spec *Spec, pointSeeds []uint64, runners map[int]Runner, it workItem) (value float64, ok bool, err error) {
+// attemptItem runs one attempt of one work item (a single trial or a
+// lane block), converting panics (in runner construction or the trials
+// themselves) into errors. Multi-trial items go through the runner's
+// BatchRunner capability when it has one and fall back to per-seed
+// single trials otherwise (seed purity makes the two identical for
+// scalar runners). Runners that implement ContextRunner get the worker's
+// context so a campaign shutdown cancels them mid-run; a resulting
+// cancellation error is returned as-is (wrapped in radio.ErrCanceled)
+// for the caller to drop.
+func attemptItem(ctx context.Context, spec *Spec, pointSeeds []uint64, runners map[int]Runner, it workItem) (values []float64, oks []bool, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
@@ -331,13 +439,29 @@ func attemptTrial(ctx context.Context, spec *Spec, pointSeeds []uint64, runners 
 	if !cached {
 		runner, err = newRunner(spec.Points[it.point], pointSeeds[it.point])
 		if err != nil {
-			return 0, false, err
+			return nil, nil, err
 		}
 		runners[it.point] = runner
 	}
-	if cr, isCtx := runner.(ContextRunner); isCtx && ctx.Done() != nil {
-		return cr.RunTrialContext(ctx, xrand.New(it.seed))
+	values = make([]float64, len(it.seeds))
+	oks = make([]bool, len(it.seeds))
+	if br, isBatch := runner.(BatchRunner); isBatch && it.batch {
+		if err := br.RunTrialBatch(ctx, it.seeds, values, oks); err != nil {
+			return nil, nil, err
+		}
+		return values, oks, nil
 	}
-	value, ok = runner.RunTrial(xrand.New(it.seed))
-	return value, ok, nil
+	cr, isCtx := runner.(ContextRunner)
+	for i, seed := range it.seeds {
+		if isCtx && ctx.Done() != nil {
+			v, ok, err := cr.RunTrialContext(ctx, xrand.New(seed))
+			if err != nil {
+				return nil, nil, err
+			}
+			values[i], oks[i] = v, ok
+		} else {
+			values[i], oks[i] = runner.RunTrial(xrand.New(seed))
+		}
+	}
+	return values, oks, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/lanes"
 	"repro/internal/protocols"
 	"repro/internal/radio"
 	"repro/internal/trace"
@@ -40,6 +41,45 @@ type Runner interface {
 type ContextRunner interface {
 	Runner
 	RunTrialContext(ctx context.Context, rng *xrand.Rand) (value float64, ok bool, err error)
+}
+
+// BatchRunner is an optional Runner capability: a runner implements it to
+// execute a block of trials in one call — the bit-parallel lane engine's
+// entry point. seeds[i] is trial i's derived seed and values[i]/oks[i]
+// receive its result; len(seeds) never exceeds lanes.Width. Each trial's
+// result must be a pure function of its own seed (lane purity), so a
+// batched campaign records byte-identical reports no matter how trials
+// are blocked — but batch results come from the lane engine's randomness
+// stream, which is distributionally identical to, not bit-identical to,
+// the scalar RunTrial stream; checkpoints record which engine produced
+// them (Manifest.Engine) and refuse to mix the two.
+type BatchRunner interface {
+	Runner
+	RunTrialBatch(ctx context.Context, seeds []uint64, values []float64, oks []bool) error
+}
+
+// batchKinds are the built-in trial kinds the lane engine accelerates:
+// randomized uniform-schedule protocols measured on a fixed graph.
+var batchKinds = map[string]bool{"distributed": true, "decay": true, "aloha": true}
+
+// batchablePoint reports whether a point's trials may be dispatched in
+// lane blocks: the kind must be lane-capable and the graph fixed (a
+// per-trial resampled graph leaves nothing for a block to share).
+func batchablePoint(p PointSpec) bool {
+	return p.Trial.FixedGraph && batchKinds[p.Trial.Kind]
+}
+
+// laneSensitive reports whether any point of the spec would be lane
+// batched: only then does the engine choice (scalar vs lanes) change
+// recorded sample values, so only then do checkpoints refuse an engine
+// mismatch on resume or merge.
+func (s *Spec) laneSensitive() bool {
+	for _, p := range s.Points {
+		if batchablePoint(p) {
+			return true
+		}
+	}
+	return false
 }
 
 // NewRunnerFunc builds a Runner for a point. pointSeed is the point's
@@ -145,14 +185,19 @@ type protocolRunner struct {
 	proto     radio.Protocol
 	maxRounds int
 	engine    *radio.Engine // non-nil iff FixedGraph
+	g         *graph.Graph  // non-nil iff FixedGraph
+	plan      *lanes.Plan   // non-nil iff FixedGraph and proto is lane-uniform
+	lane      *lanes.Engine // built lazily on the first batched block
+	laneOut   []int
 }
 
 func newProtocolKind(proto func(TrialSpec) radio.Protocol) NewRunnerFunc {
 	return func(p PointSpec, pointSeed uint64) (Runner, error) {
 		r := &protocolRunner{spec: p.Trial, proto: proto(p.Trial), maxRounds: p.Trial.maxRounds()}
 		if p.Trial.FixedGraph {
-			g := sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
-			r.engine = radio.NewEngine(g, 0, radio.StrictInformed)
+			r.g = sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
+			r.engine = radio.NewEngine(r.g, 0, radio.StrictInformed)
+			r.plan, _ = lanes.NewPlan(r.proto, r.maxRounds)
 		}
 		return r, nil
 	}
@@ -187,6 +232,38 @@ func (r *protocolRunner) RunTrialContext(ctx context.Context, rng *xrand.Rand) (
 		return 0, false, err
 	}
 	return float64(rounds), rounds <= r.maxRounds, nil
+}
+
+// RunTrialBatch implements BatchRunner: one lane block advances every
+// trial of the block through the point's fixed graph simultaneously.
+// Falls back to per-seed scalar trials (identical to single dispatch)
+// when the protocol declared no uniform schedule or the graph is not
+// fixed — the work list only batches batchablePoint points, so that
+// path is a guard, not a steady state.
+func (r *protocolRunner) RunTrialBatch(ctx context.Context, seeds []uint64, values []float64, oks []bool) error {
+	if r.plan == nil {
+		for i, seed := range seeds {
+			v, ok, err := r.RunTrialContext(ctx, xrand.New(seed))
+			if err != nil {
+				return err
+			}
+			values[i], oks[i] = v, ok
+		}
+		return nil
+	}
+	if r.lane == nil {
+		r.lane = lanes.NewEngine(r.g, []int32{0}, r.plan)
+		r.laneOut = make([]int, lanes.Width)
+	}
+	out := r.laneOut[:len(seeds)]
+	if err := r.lane.RunContext(ctx, seeds, out); err != nil {
+		return err
+	}
+	for i, rounds := range out {
+		values[i] = float64(rounds)
+		oks[i] = rounds <= r.maxRounds
+	}
+	return nil
 }
 
 // centralizedRunner measures the replayed length of the Theorem 5
@@ -232,12 +309,17 @@ func (r *centralizedRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 type collisionRateRunner struct {
 	spec      TrialSpec
 	maxRounds int
+	proto     radio.Protocol // hoisted: one construction per runner, not per trial
 	counters  trace.Counters
 	engine    *radio.Engine // non-nil iff FixedGraph
 }
 
 func newCollisionRateRunner(p PointSpec, pointSeed uint64) (Runner, error) {
-	r := &collisionRateRunner{spec: p.Trial, maxRounds: p.Trial.maxRounds()}
+	r := &collisionRateRunner{
+		spec:      p.Trial,
+		maxRounds: p.Trial.maxRounds(),
+		proto:     core.NewDistributedProtocol(p.Trial.N, p.Trial.D),
+	}
 	if p.Trial.FixedGraph {
 		g := sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
 		r.engine = radio.NewEngine(g, 0, radio.StrictInformed)
@@ -254,11 +336,14 @@ func (r *collisionRateRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 		e = radio.NewEngine(g, 0, radio.StrictInformed)
 		e.Attach(&r.counters)
 	}
-	proto := core.NewDistributedProtocol(r.spec.N, r.spec.D)
-	res := radio.RunProtocolOn(e, proto, r.maxRounds, rng)
+	// BroadcastTimeOn drives the identical round stream RunProtocolOn did
+	// but materialises no Result (whose InformedAt slice was an n-sized
+	// allocation per trial); the counters observer carries the aggregate.
+	rounds := radio.BroadcastTimeOn(e, r.proto, r.maxRounds, rng)
+	completed := rounds <= r.maxRounds
 	listens := r.counters.Successes + r.counters.Collisions + r.counters.Silent
 	if listens == 0 {
-		return 0, res.Completed
+		return 0, completed
 	}
-	return float64(r.counters.Collisions) / float64(listens), res.Completed
+	return float64(r.counters.Collisions) / float64(listens), completed
 }

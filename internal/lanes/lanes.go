@@ -1,0 +1,702 @@
+// Package lanes implements a bit-parallel Monte-Carlo broadcast engine:
+// up to 64 independent trials ("lanes") advance through the same graph
+// simultaneously, one machine word per node, so a single edge pass serves
+// every lane at once.
+//
+// Per round each transmitting node v carries a 64-bit mask M_v whose bit i
+// means "v transmits in lane i". The collision-aware scatter is carry-save
+// over two bitplanes per listener w:
+//
+//	twice[w] |= once[w] & M_v
+//	once[w]  |= M_v
+//
+// so after the pass, bit i of once&^twice is "exactly one transmitting
+// neighbour in lane i" (success) and bit i of twice is ">=2 hits"
+// (collision) — the radio model's delivery rule falls out per lane with
+// pure word ops, no per-lane branching. Nodes that transmit in a lane do
+// not listen in it (the received mask is additionally cleared by the
+// node's own transmit mask), and informed sets are per-lane bitplanes, so
+// per-lane early exit is a matter of masking finished lanes out of one
+// "active" word.
+//
+// The scatter has a dual: once most listeners are saturated (informed in
+// every still-active lane, so their reception can never matter again),
+// the engine flips to a gather pass over the remaining live listeners —
+// each live w folds its neighbours' transmit masks into local once/twice
+// words — which makes the per-round cost track the shrinking frontier
+// instead of the transmitter union. The cheaper side is chosen per round
+// from the two exact visit counts; both sides commit identical results.
+//
+// Randomness follows the sampled-transmitter policy established by the
+// scalar fast path: each lane walks its eligible list with geometric
+// skips of rate q (xrand.GeometricExp), which realises an independent
+// Bernoulli(q) transmit decision per eligible node — the same joint
+// distribution as the scalar path's k ~ Binomial(|eligible|, q) draw
+// followed by a uniform k-subset, in O(k) draws with no list writes. Each
+// lane owns a private xrand stream seeded solely from that trial's seed,
+// and every structure a lane's draws depend on (its eligible lists) is
+// updated in a lane-pure order — ascending vertex order within a round —
+// so a trial's outcome is a pure function of (graph, sources, plan, seed):
+// bit-identical no matter the lane width, which other trials share its
+// block, or how blocks are sharded across workers. That invariance is
+// what lets campaign reports stay deterministic across -lanes settings.
+//
+// The engine handles protocols through the radio.UniformProtocol
+// capability only: the per-round (q, cohort) schedule is probed up front
+// into a Plan (RoundProb is deterministic and consumes no randomness, so
+// probing is free); protocols with any non-uniform round fall back to the
+// scalar engine, as do observed runs (trace observers are inherently
+// scalar per-trial streams).
+package lanes
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/bits"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/xrand"
+)
+
+// Width is the number of trials a single lane block advances per edge
+// pass: one per bit of a machine word.
+const Width = 64
+
+// Plan is a protocol's uniform-round schedule, probed once up front:
+// per-round transmit probability and cohort, plus the set of distinct
+// InformedBy cutoffs (the engine keeps one extra bitplane per cutoff).
+type Plan struct {
+	maxRounds int
+	q         []float64 // q[r-1]: transmit probability of round r
+	lam       []float64 // lam[r-1]: -log1p(-q), the geometric skip rate (0 unless 0<q<1)
+	cohort    []int     // cohort[r-1]: -1 = AllInformed, else index into cutoffs
+	cutoffs   []int32   // distinct InformedBy cutoffs, in first-seen order
+}
+
+// NewPlan probes p's per-round schedule for rounds 1..maxRounds. ok is
+// false — and the caller must fall back to the scalar engine — when p
+// does not implement radio.UniformProtocol or declares any non-uniform
+// round in the budget.
+func NewPlan(p radio.Protocol, maxRounds int) (*Plan, bool) {
+	up, isUniform := p.(radio.UniformProtocol)
+	if !isUniform || maxRounds < 0 {
+		return nil, false
+	}
+	pl := &Plan{
+		maxRounds: maxRounds,
+		q:         make([]float64, maxRounds),
+		lam:       make([]float64, maxRounds),
+		cohort:    make([]int, maxRounds),
+	}
+	for r := 1; r <= maxRounds; r++ {
+		q, cohort, ok := up.RoundProb(r)
+		if !ok {
+			return nil, false
+		}
+		pl.q[r-1] = q
+		if q > 0 && q < 1 {
+			pl.lam[r-1] = -math.Log1p(-q)
+		}
+		cutoff, restricted := cohort.Cutoff()
+		if !restricted {
+			pl.cohort[r-1] = -1
+			continue
+		}
+		idx := -1
+		for k, c := range pl.cutoffs {
+			if c == cutoff {
+				idx = k
+				break
+			}
+		}
+		if idx < 0 {
+			idx = len(pl.cutoffs)
+			pl.cutoffs = append(pl.cutoffs, cutoff)
+		}
+		pl.cohort[r-1] = idx
+	}
+	return pl, true
+}
+
+// MaxRounds returns the round budget the plan was probed for. Trials that
+// do not complete within it report MaxRounds()+1, mirroring
+// radio.BroadcastTimeOn.
+func (pl *Plan) MaxRounds() int { return pl.maxRounds }
+
+// RoundStats are one lane's per-round counters, collected only in trace
+// mode (SetTrace) for the differential tests against the scalar oracle.
+type RoundStats struct {
+	Transmitters  int // lane transmitter-set size this round
+	Successes     int // listeners with exactly one transmitting neighbour
+	Collisions    int // listeners with >=2 transmitting neighbours
+	NewlyInformed int // uninformed listeners that became informed
+}
+
+// Trace captures per-lane, per-round details of a Run for the
+// differential tests: the effective transmitter set of every round (fit
+// for oracle.Engine.Replay), the per-round success/collision counters,
+// and the per-lane informed-at times. Collecting a trace disables the
+// saturated-node scatter skip (which elides hit counting at nodes whose
+// reception can no longer matter), so traced runs see every hit; the
+// per-lane results are unchanged.
+type Trace struct {
+	Sets       [][][]int32 // Sets[lane][r-1]: transmitters of round r
+	Stats      [][]RoundStats
+	InformedAt [][]int32 // InformedAt[lane][v]; radio.NotInformed if never
+}
+
+func (t *Trace) reset(width, n int) {
+	t.Sets = make([][][]int32, width)
+	t.Stats = make([][]RoundStats, width)
+	t.InformedAt = make([][]int32, width)
+	for i := 0; i < width; i++ {
+		at := make([]int32, n)
+		for v := range at {
+			at[v] = radio.NotInformed
+		}
+		t.InformedAt[i] = at
+	}
+}
+
+// Engine runs lane blocks on a fixed graph from a fixed source set. It is
+// not safe for concurrent use; RunBlocks keeps one per worker.
+type Engine struct {
+	g       *graph.Graph
+	sources []int32
+	plan    *Plan
+
+	informed []uint64 // informed[v] bit i: v holds the message in lane i
+	// hits interleaves the two carry-save planes — hits[2v] is "at least
+	// one hit" (once), hits[2v+1] is "at least two" (twice) — so each
+	// scatter visit touches one cache line instead of two.
+	hits    []uint64
+	txMask  []uint64 // txMask[v] bit i: v transmits in lane i this round
+	done    []uint8  // 1: v informed in every active lane; delivery skips it
+	touched []int32  // listeners with hits this round (sparse scatter rounds)
+	txUnion []int32  // nodes with nonzero txMask, for O(|tx|) mask clear
+
+	// Live-listener bookkeeping for the gather pass: live holds the nodes
+	// not yet saturated (done[v] == 0), ascending; liveDeg is the sum of
+	// their degrees (the exact gather visit count) and unionDeg the sum of
+	// txUnion degrees (the exact scatter visit count) for this round.
+	live      []int32
+	liveDeg   int
+	unionDeg  int
+	doneDirty bool // done gained flags since live was last compacted
+
+	unionInformed []int32    // nodes informed in >=1 lane, append order
+	cohortPlane   [][]uint64 // per plan cutoff: informed at round <= cutoff
+	cohortUnion   [][]int32
+
+	// Per-lane trial state. elig mirrors the scalar engine's incremental
+	// eligible lists: every informed node, appended in lane-pure
+	// (ascending-vertex within a round) order and never reordered — the
+	// geometric skip walk reads but does not permute.
+	rngs        []xrand.Rand
+	elig        [][]int32
+	eligCohort  [][][]int32 // [cutoff index][lane]
+	informedCnt []int32
+	doneRound   []int32
+	active      uint64
+
+	trace *Trace
+}
+
+// NewEngine returns a lane engine on g with the given initial informed
+// set (sources[0] first, duplicates tolerated) for the planned protocol
+// schedule. The engine is reusable: each Run resets all per-trial state.
+func NewEngine(g *graph.Graph, sources []int32, plan *Plan) *Engine {
+	n := g.N()
+	if len(sources) == 0 {
+		panic("lanes: NewEngine needs at least one source")
+	}
+	for _, s := range sources {
+		if s < 0 || int(s) >= n {
+			panic(fmt.Sprintf("lanes: source %d out of range [0,%d)", s, n))
+		}
+	}
+	e := &Engine{
+		g:           g,
+		sources:     append([]int32(nil), sources...),
+		plan:        plan,
+		informed:    make([]uint64, n),
+		hits:        make([]uint64, 2*n),
+		txMask:      make([]uint64, n),
+		done:        make([]uint8, n),
+		live:        make([]int32, 0, n),
+		cohortPlane: make([][]uint64, len(plan.cutoffs)),
+		cohortUnion: make([][]int32, len(plan.cutoffs)),
+		rngs:        make([]xrand.Rand, Width),
+		elig:        make([][]int32, Width),
+		eligCohort:  make([][][]int32, len(plan.cutoffs)),
+		informedCnt: make([]int32, Width),
+		doneRound:   make([]int32, Width),
+	}
+	for k := range e.cohortPlane {
+		e.cohortPlane[k] = make([]uint64, n)
+		e.eligCohort[k] = make([][]int32, Width)
+	}
+	return e
+}
+
+// SetTrace attaches (or, with nil, detaches) a Trace that subsequent Runs
+// fill. Intended for tests; tracing allocates per round.
+func (e *Engine) SetTrace(t *Trace) { e.trace = t }
+
+// Run advances one lane block: up to Width trials, seeds[i] seeding lane
+// i's private stream. out[i] receives the round in which lane i's
+// broadcast completed, or MaxRounds()+1 if it did not finish within the
+// plan's budget (the same sentinel radio.BroadcastTimeOn uses).
+func (e *Engine) Run(seeds []uint64, out []int) {
+	// context.Background never cancels, so the error is structurally nil.
+	_ = e.RunContext(context.Background(), seeds, out)
+}
+
+// RunContext is Run with a cooperative between-rounds cancellation check.
+// The check consumes no randomness; an uncanceled run is bit-identical to
+// Run. On cancellation the block's results are meaningless and the error
+// wraps radio.ErrCanceled with the context's cause.
+func (e *Engine) RunContext(ctx context.Context, seeds []uint64, out []int) error {
+	width := len(seeds)
+	if width == 0 {
+		return nil
+	}
+	if width > Width {
+		panic(fmt.Sprintf("lanes: block of %d seeds exceeds %d lanes", width, Width))
+	}
+	if len(out) != width {
+		panic("lanes: Run needs len(out) == len(seeds)")
+	}
+	n := e.g.N()
+	e.resetRun(seeds, width, n)
+	for i := 0; i < width; i++ {
+		out[i] = e.plan.maxRounds + 1
+	}
+	if len(e.unionInformed) == n {
+		// Every node is a source: all lanes complete in round 0.
+		for i := 0; i < width; i++ {
+			out[i] = 0
+		}
+		return nil
+	}
+
+	maxRounds := e.plan.maxRounds
+	for round := 1; round <= maxRounds && e.active != 0; round++ {
+		if ctx.Err() != nil {
+			return radio.Canceled(ctx)
+		}
+		activeAtStart := e.active
+		e.buildTransmitters(round, width)
+		if e.trace != nil {
+			e.traceSets(width)
+		}
+		e.deliver(round, n)
+		for _, v := range e.txUnion {
+			e.txMask[v] = 0
+		}
+		if e.active != activeAtStart && e.active != 0 && e.trace == nil {
+			// Lanes retired this round: nodes informed in every remaining
+			// active lane are now saturated — their reception can never
+			// matter again — so flag them for the delivery skip. done is
+			// monotone-safe: active only shrinks, so a set flag stays valid.
+			// Only live nodes need rechecking; flagged ones stay flagged.
+			a := e.active
+			for _, v := range e.live {
+				if e.informed[v]&a == a {
+					e.done[v] = 1
+					e.doneDirty = true
+				}
+			}
+		}
+		if e.doneDirty {
+			e.compactLive()
+			e.doneDirty = false
+		}
+	}
+	for i := 0; i < width; i++ {
+		if int(e.doneRound[i]) <= maxRounds {
+			out[i] = int(e.doneRound[i])
+		}
+	}
+	return nil
+}
+
+// resetRun restores pristine per-trial state and seeds the sources.
+func (e *Engine) resetRun(seeds []uint64, width, n int) {
+	clear(e.informed)
+	clear(e.done)
+	// hits and txMask are all-zero between rounds by construction; clear
+	// anyway so a previously canceled run cannot leak marks into this one.
+	clear(e.hits)
+	clear(e.txMask)
+	e.touched = e.touched[:0]
+	e.txUnion = e.txUnion[:0]
+	e.unionInformed = e.unionInformed[:0]
+	for k := range e.cohortPlane {
+		clear(e.cohortPlane[k])
+		e.cohortUnion[k] = e.cohortUnion[k][:0]
+	}
+	active := ^uint64(0)
+	if width < Width {
+		active = uint64(1)<<uint(width) - 1
+	}
+	e.active = active
+	for i := 0; i < width; i++ {
+		e.rngs[i].Reseed(seeds[i])
+		e.elig[i] = e.elig[i][:0]
+		e.informedCnt[i] = 0
+		e.doneRound[i] = int32(e.plan.maxRounds + 1)
+		for k := range e.eligCohort {
+			e.eligCohort[k][i] = e.eligCohort[k][i][:0]
+		}
+	}
+	if e.trace != nil {
+		e.trace.reset(width, n)
+	}
+	for _, s := range e.sources {
+		if e.informed[s] != 0 {
+			continue // duplicate source
+		}
+		e.informed[s] = active
+		e.done[s] = 1 // sources are informed in every lane from round 0
+		e.unionInformed = append(e.unionInformed, s)
+		for i := 0; i < width; i++ {
+			e.elig[i] = append(e.elig[i], s)
+			e.informedCnt[i]++
+			if e.trace != nil {
+				e.trace.InformedAt[i][s] = 0
+			}
+		}
+		for k, cutoff := range e.plan.cutoffs {
+			if cutoff >= 0 { // sources have informedAt 0
+				e.cohortPlane[k][s] = active
+				e.cohortUnion[k] = append(e.cohortUnion[k], s)
+				for i := 0; i < width; i++ {
+					e.eligCohort[k][i] = append(e.eligCohort[k][i], s)
+				}
+			}
+		}
+	}
+	if e.trace != nil {
+		// Trace mode counts hits at every listener, so the saturated-node
+		// skip must stay off: leave done all-zero.
+		clear(e.done)
+	}
+	e.live = e.live[:0]
+	e.liveDeg = 0
+	for v := 0; v < n; v++ {
+		if e.done[v] == 0 {
+			e.live = append(e.live, int32(v))
+			e.liveDeg += e.g.Degree(int32(v))
+		}
+	}
+	e.doneDirty = false
+	if len(e.unionInformed) == n {
+		for i := 0; i < width; i++ {
+			e.doneRound[i] = 0
+		}
+		e.active = 0
+	}
+}
+
+// buildTransmitters fills txMask/txUnion (and unionDeg, the scatter visit
+// count) for the round. q >= 1 rounds take the whole (cohort) plane;
+// 0 < q < 1 rounds walk each active lane's eligible list with geometric
+// skips of rate q from the lane's own stream — an independent
+// Bernoulli(q) decision per eligible node, the same joint distribution as
+// the scalar fast path's k ~ Binomial(|eligible|, q) draw plus uniform
+// k-subset, in O(k) draws; q <= 0 rounds transmit nothing (the round
+// still counts against the budget).
+func (e *Engine) buildTransmitters(round, width int) {
+	e.txUnion = e.txUnion[:0]
+	e.unionDeg = 0
+	q := e.plan.q[round-1]
+	ci := e.plan.cohort[round-1]
+	switch {
+	case q >= 1:
+		list, plane := e.unionInformed, e.informed
+		if ci >= 0 {
+			list, plane = e.cohortUnion[ci], e.cohortPlane[ci]
+		}
+		for _, v := range list {
+			if m := plane[v] & e.active; m != 0 {
+				e.txMask[v] = m
+				e.txUnion = append(e.txUnion, v)
+				e.unionDeg += e.g.Degree(v)
+			}
+		}
+	case q > 0:
+		lam := e.plan.lam[round-1]
+		for act := e.active; act != 0; act &= act - 1 {
+			i := bits.TrailingZeros64(act)
+			el := e.elig[i]
+			if ci >= 0 {
+				el = e.eligCohort[ci][i]
+			}
+			if len(el) == 0 {
+				continue
+			}
+			rng := &e.rngs[i]
+			bit := uint64(1) << uint(i)
+			for j := rng.GeometricExp(lam); j < len(el); j += 1 + rng.GeometricExp(lam) {
+				v := el[j]
+				if e.txMask[v] == 0 {
+					e.txUnion = append(e.txUnion, v)
+					e.unionDeg += e.g.Degree(v)
+				}
+				e.txMask[v] |= bit
+			}
+		}
+	}
+}
+
+// deliver runs the round's carry-save edge pass and classifies every hit
+// listener, picking the cheaper of two exact-equivalent strategies:
+// gather (iterate live listeners, fold neighbour transmit masks into
+// local once/twice words — liveDeg visits, no plane writes, no per-visit
+// saturation branch) or scatter (iterate union transmitters into the hits
+// planes — unionDeg visits, cheap while the transmitter union is small).
+// Saturated listeners commit nothing on either side (their recv masks
+// cannot add informed bits), and commits happen in ascending vertex order
+// on both — live is sorted, the dense plane scan is naturally ordered and
+// the sparse touched list is sorted — which is what keeps per-lane
+// eligible-list evolution lane-pure and the strategy choice invisible.
+func (e *Engine) deliver(round, n int) {
+	if e.liveDeg <= 2*e.unionDeg {
+		for _, w := range e.live {
+			var once, twice uint64
+			for _, v := range e.g.Neighbors(w) {
+				m := e.txMask[v]
+				twice |= once & m
+				once |= m
+			}
+			if once != 0 {
+				e.commit(w, once, twice, round)
+			}
+		}
+		return
+	}
+	e.scatterAndCommit(round, n)
+}
+
+// scatterAndCommit is deliver's transmitter-side strategy, with the
+// scalar engine's dense/sparse split on the union visit count.
+func (e *Engine) scatterAndCommit(round, n int) {
+	if 2*e.unionDeg >= n {
+		for _, v := range e.txUnion {
+			m := e.txMask[v]
+			for _, w := range e.g.Neighbors(v) {
+				if e.done[w] != 0 {
+					continue
+				}
+				t := e.hits[2*w]
+				e.hits[2*w+1] |= t & m
+				e.hits[2*w] = t | m
+			}
+		}
+		for w := 0; w < n; w++ {
+			once := e.hits[2*w]
+			if once == 0 {
+				continue
+			}
+			twice := e.hits[2*w+1]
+			e.hits[2*w] = 0
+			e.hits[2*w+1] = 0
+			e.commit(int32(w), once, twice, round)
+		}
+		return
+	}
+	e.touched = e.touched[:0]
+	for _, v := range e.txUnion {
+		m := e.txMask[v]
+		for _, w := range e.g.Neighbors(v) {
+			if e.done[w] != 0 {
+				continue
+			}
+			t := e.hits[2*w]
+			if t == 0 {
+				e.touched = append(e.touched, w)
+			}
+			e.hits[2*w+1] |= t & m
+			e.hits[2*w] = t | m
+		}
+	}
+	slices.Sort(e.touched)
+	for _, w := range e.touched {
+		once := e.hits[2*w]
+		twice := e.hits[2*w+1]
+		e.hits[2*w] = 0
+		e.hits[2*w+1] = 0
+		e.commit(w, once, twice, round)
+	}
+}
+
+// compactLive drops newly saturated nodes from the live-listener list
+// (order-preserving, so gather commits stay ascending) and refreshes
+// liveDeg, the exact gather visit count.
+func (e *Engine) compactLive() {
+	kept := e.live[:0]
+	deg := 0
+	for _, w := range e.live {
+		if e.done[w] == 0 {
+			kept = append(kept, w)
+			deg += e.g.Degree(w)
+		}
+	}
+	e.live = kept
+	e.liveDeg = deg
+}
+
+// commit classifies one listener's hits and applies the per-lane state
+// updates for its newly informed lanes.
+func (e *Engine) commit(w int32, once, twice uint64, round int) {
+	// Exactly one hit, and not transmitting in that lane itself.
+	recv := once &^ twice &^ e.txMask[w]
+	if e.trace != nil {
+		e.traceHits(w, recv, twice)
+	}
+	newBits := recv &^ e.informed[w]
+	if newBits == 0 {
+		return
+	}
+	if e.informed[w] == 0 {
+		e.unionInformed = append(e.unionInformed, w)
+	}
+	ni := e.informed[w] | newBits
+	e.informed[w] = ni
+	if e.trace == nil && ni&e.active == e.active {
+		e.done[w] = 1
+		e.doneDirty = true
+	}
+	for k, cutoff := range e.plan.cutoffs {
+		if int32(round) <= cutoff {
+			if e.cohortPlane[k][w] == 0 {
+				e.cohortUnion[k] = append(e.cohortUnion[k], w)
+			}
+			e.cohortPlane[k][w] |= newBits
+		}
+	}
+	for nb := newBits; nb != 0; nb &= nb - 1 {
+		i := bits.TrailingZeros64(nb)
+		e.elig[i] = append(e.elig[i], w)
+		for k, cutoff := range e.plan.cutoffs {
+			if int32(round) <= cutoff {
+				e.eligCohort[k][i] = append(e.eligCohort[k][i], w)
+			}
+		}
+		if e.trace != nil {
+			e.trace.InformedAt[i][w] = int32(round)
+			s := e.trace.Stats[i]
+			s[len(s)-1].NewlyInformed++
+		}
+		e.informedCnt[i]++
+		if int(e.informedCnt[i]) == e.g.N() {
+			e.doneRound[i] = int32(round)
+			e.active &^= uint64(1) << uint(i)
+		}
+	}
+}
+
+// traceSets records each active lane's effective transmitter set and
+// opens its RoundStats row for this round.
+func (e *Engine) traceSets(width int) {
+	for i := 0; i < width; i++ {
+		if e.active>>uint(i)&1 == 0 {
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		var set []int32
+		for _, v := range e.txUnion {
+			if e.txMask[v]&bit != 0 {
+				set = append(set, v)
+			}
+		}
+		e.trace.Sets[i] = append(e.trace.Sets[i], set)
+		e.trace.Stats[i] = append(e.trace.Stats[i], RoundStats{Transmitters: len(set)})
+	}
+}
+
+// traceHits accumulates one listener's per-lane success/collision counts
+// into the open RoundStats rows.
+func (e *Engine) traceHits(w int32, recv, twice uint64) {
+	for b := recv; b != 0; b &= b - 1 {
+		i := bits.TrailingZeros64(b)
+		s := e.trace.Stats[i]
+		s[len(s)-1].Successes++
+	}
+	for b := twice &^ e.txMask[w]; b != 0; b &= b - 1 {
+		i := bits.TrailingZeros64(b)
+		s := e.trace.Stats[i]
+		s[len(s)-1].Collisions++
+	}
+}
+
+// RunBlocks shards len(seeds) trials into lane blocks of the given width
+// (0 or out-of-range means Width) and runs them on a bounded worker pool
+// (workers <= 0 means GOMAXPROCS), one reused Engine per worker. out[i]
+// receives trial i's completion round, plan.MaxRounds()+1 if unfinished.
+// Workers write disjoint ranges of out, and lane purity makes each trial
+// a pure function of its seed, so out is bitwise independent of width,
+// worker count and GOMAXPROCS. On cancellation the first error (wrapping
+// radio.ErrCanceled) is returned and out is meaningless.
+func RunBlocks(ctx context.Context, g *graph.Graph, sources []int32, plan *Plan, seeds []uint64, width, workers int, out []int) error {
+	if len(out) != len(seeds) {
+		panic("lanes: RunBlocks needs len(out) == len(seeds)")
+	}
+	if width <= 0 || width > Width {
+		width = Width
+	}
+	blocks := (len(seeds) + width - 1) / width
+	if blocks == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > blocks {
+		workers = blocks
+	}
+	runBlock := func(e *Engine, b int) error {
+		lo := b * width
+		hi := min(lo+width, len(seeds))
+		return e.RunContext(ctx, seeds[lo:hi], out[lo:hi])
+	}
+	if workers <= 1 {
+		e := NewEngine(g, sources, plan)
+		for b := 0; b < blocks; b++ {
+			if err := runBlock(e, b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := NewEngine(g, sources, plan)
+			for b := range ch {
+				if err := runBlock(e, b); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for b := 0; b < blocks; b++ {
+		ch <- b
+	}
+	close(ch)
+	wg.Wait()
+	return firstErr
+}

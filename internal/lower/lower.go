@@ -54,6 +54,7 @@ func GreedyAdaptiveSchedule(g *graph.Graph, src int32, maxRounds int) (*radio.Sc
 	n := g.N()
 	hits := make([]int32, n) // current transmit set's neighbour counts
 	var touched []int32
+	var frontier []int32 // reused buffer for the full-frontier fallback
 	for !e.Done() && e.RoundCount() < maxRounds {
 		// Build this round's set greedily.
 		var set []int32
@@ -113,7 +114,8 @@ func GreedyAdaptiveSchedule(g *graph.Graph, src int32, maxRounds int) (*radio.Sc
 			// node with an uninformed neighbour two hops away cannot help
 			// this round; transmit the full frontier to make the engine
 			// advance the round.
-			set = e.AppendInformed(nil)
+			frontier = e.AppendInformed(frontier[:0])
+			set = frontier
 		}
 		owned := make([]int32, len(set))
 		copy(owned, set)
@@ -288,10 +290,14 @@ func OptimizeSequence(g *graph.Graph, src int32, d float64, maxRounds, trials in
 	cands := CandidateSequences(d, period)
 	best := math.Inf(1)
 	var bestP *SequenceProtocol
+	// One engine for the whole search: BroadcastTimeOn resets it per
+	// trial, and engine construction consumes no randomness, so results
+	// are bit-identical to the fresh-engine-per-trial form.
+	e := radio.NewEngine(g, src, radio.StrictInformed)
 	for _, p := range cands {
 		total := 0.0
 		for t := 0; t < trials; t++ {
-			total += float64(radio.BroadcastTime(g, src, p, maxRounds, rng.Derive(uint64(t))))
+			total += float64(radio.BroadcastTimeOn(e, p, maxRounds, rng.Derive(uint64(t))))
 		}
 		mean := total / float64(trials)
 		if mean < best {

@@ -117,6 +117,10 @@ type Engine struct {
 	cdMark    []bool
 	cdTx      []int32
 	cdTouched []int32
+	// Result-buffer reuse (see SetResultReuse): when on, resultOf fills
+	// Result.InformedAt from resultBuf instead of a fresh per-run copy.
+	reuseResult bool
+	resultBuf   []int32
 }
 
 // NewEngine returns an engine on g in which only src knows the message.
@@ -190,6 +194,26 @@ func (e *Engine) ResetFor(src int32) {
 	e.Reset()
 }
 
+// SetSources re-targets the engine at a new initial informed set without
+// reallocating: sources[0] becomes the primary source and the rest the
+// extra sources (as in NewEngineMulti), then the engine is Reset. Serving
+// paths that pool one engine per cached graph use this to repoint the
+// pooled engine at each request's sources. It panics on an empty or
+// out-of-range source list.
+func (e *Engine) SetSources(sources []int32) {
+	if len(sources) == 0 {
+		panic("radio: SetSources needs at least one source")
+	}
+	for _, s := range sources {
+		if s < 0 || int(s) >= e.g.N() {
+			panic(fmt.Sprintf("radio: source %d out of range [0,%d)", s, e.g.N()))
+		}
+	}
+	e.src = sources[0]
+	e.extraSources = append(e.extraSources[:0], sources[1:]...)
+	e.Reset()
+}
+
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
@@ -252,6 +276,14 @@ func (e *Engine) InformedTimes() []int32 {
 	out := make([]int32, len(e.informedAt))
 	copy(out, e.informedAt)
 	return out
+}
+
+// AppendInformedTimes appends the informed-at array to dst and returns the
+// extended slice. It is the allocation-free sibling of InformedTimes for
+// collectors in hot trial loops: passing a reused dst[:0] copies the n
+// per-node times without a fresh allocation per call.
+func (e *Engine) AppendInformedTimes(dst []int32) []int32 {
+	return append(dst, e.informedAt...)
 }
 
 // AppendInformed appends all informed vertices to dst.
@@ -547,13 +579,29 @@ func executeScheduleOnCtx(ctx context.Context, e *Engine, s *Schedule) (Result, 
 	return resultOf(e), nil
 }
 
+// SetResultReuse toggles result-buffer reuse: when on, Results built by
+// the RunProtocol*/ExecuteSchedule* methods fill InformedAt from an
+// engine-owned buffer that the engine's NEXT run overwrites, instead of
+// a fresh O(n) copy per run. Engine-pooling callers (repro.WithEngine,
+// the serving layer) turn this on so steady-state requests allocate
+// nothing proportional to n; leave it off when a Result must outlive the
+// engine's next run.
+func (e *Engine) SetResultReuse(on bool) { e.reuseResult = on }
+
 func resultOf(e *Engine) Result {
+	var at []int32
+	if e.reuseResult {
+		e.resultBuf = e.AppendInformedTimes(e.resultBuf[:0])
+		at = e.resultBuf
+	} else {
+		at = e.InformedTimes()
+	}
 	return Result{
 		Completed:  e.Done(),
 		Rounds:     e.round,
 		Informed:   e.numInformed,
 		N:          e.g.N(),
-		InformedAt: e.InformedTimes(),
+		InformedAt: at,
 		Stats:      e.Stats(),
 	}
 }
@@ -599,6 +647,15 @@ func InformedBy(cutoff int32) Cohort { return Cohort{cutoff: cutoff, restricted:
 // the cohort. Uninformed nodes (informedAt == NotInformed) never do.
 func (c Cohort) Contains(informedAt int32) bool {
 	return informedAt != NotInformed && (!c.restricted || informedAt <= c.cutoff)
+}
+
+// Cutoff exposes the cohort's shape to engines that maintain their own
+// eligibility structures (the lane engine keeps one bitplane per distinct
+// cutoff): restricted reports whether the cohort is an InformedBy cohort,
+// and cutoff is its bound when it is. For AllInformed, restricted is false
+// and cutoff is meaningless.
+func (c Cohort) Cutoff() (cutoff int32, restricted bool) {
+	return c.cutoff, c.restricted
 }
 
 // UniformProtocol is an optional capability of a Protocol: a protocol

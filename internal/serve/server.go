@@ -279,6 +279,56 @@ func (r *RunRequest) options(g *repro.Graph) ([]repro.Option, error) {
 	return opts, nil
 }
 
+// simulation is one prepared run: the cached graph, the assembled
+// options and — for the protocol algorithms — a pooled engine to run on.
+// prepare does everything that can fail with a status code; run executes
+// and returns the engine to the pool. Both endpoints funnel through this
+// pair, which also makes the simulation path testable without HTTP.
+type simulation struct {
+	s      *Server
+	req    *RunRequest
+	g      *repro.Graph
+	key    GraphKey
+	opts   []repro.Option
+	engine *repro.Engine
+}
+
+// prepare resolves the request's graph (through the LRU) and options,
+// and checks an engine out of the per-graph pool. The centralized
+// algorithm replays a schedule through its own execution state, so it
+// runs engine-less.
+func (s *Server) prepare(req *RunRequest) (*simulation, error) {
+	key := req.graphKey()
+	g, err := s.cache.Get(key)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := req.options(g)
+	if err != nil {
+		return nil, err
+	}
+	sim := &simulation{s: s, req: req, g: g, key: key, opts: opts}
+	if req.Algo != "centralized" {
+		sim.engine = s.cache.EngineFor(key, g)
+		sim.opts = append(sim.opts, repro.WithEngine(sim.engine))
+	}
+	return sim, nil
+}
+
+// run executes the prepared simulation and returns its engine to the
+// pool — detached from any observer first, so a pooled engine never
+// retains a dead request's response writer.
+func (sim *simulation) run(ctx context.Context, extra ...repro.Option) (repro.Result, error) {
+	opts := append(sim.opts, extra...)
+	res, err := repro.RunContext(ctx, sim.g, sim.req.Src, opts...)
+	if sim.engine != nil {
+		sim.engine.Attach(nil)
+		sim.s.cache.PutEngine(sim.key, sim.engine)
+		sim.engine = nil
+	}
+	return res, err
+}
+
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req RunRequest
@@ -296,15 +346,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	err := s.pool.Do(r.Context(), func(ctx context.Context) error {
 		ctx, cancel := context.WithTimeout(ctx, req.timeout(&s.cfg))
 		defer cancel()
-		g, err := s.cache.Get(req.graphKey())
+		sim, err := s.prepare(&req)
 		if err != nil {
 			return err
 		}
-		opts, err := req.options(g)
-		if err != nil {
-			return err
-		}
-		res, err := repro.RunContext(ctx, g, req.Src, opts...)
+		res, err := sim.run(ctx)
 		if err != nil {
 			return err
 		}
@@ -342,11 +388,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 	err := s.pool.Do(r.Context(), func(ctx context.Context) error {
 		ctx, cancel := context.WithTimeout(ctx, req.timeout(&s.cfg))
 		defer cancel()
-		g, err := s.cache.Get(req.graphKey())
-		if err != nil {
-			return err
-		}
-		opts, err := req.options(g)
+		sim, err := s.prepare(&req)
 		if err != nil {
 			return err
 		}
@@ -358,8 +400,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		flusher, _ := w.(http.Flusher)
 		jw := repro.NewJSONLWriter(w)
 		obs := &flushingObserver{jw: jw, flusher: flusher}
-		opts = append(opts, repro.WithObserver(obs))
-		res, runErr := repro.RunContext(ctx, g, req.Src, opts...)
+		res, runErr := sim.run(ctx, repro.WithObserver(obs))
 		trailer := streamTrailer{Type: "result", Result: runResponse(res, time.Since(start))}
 		if runErr != nil {
 			trailer.Error = runErr.Error()

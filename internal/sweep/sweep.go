@@ -10,6 +10,8 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/graph"
+	"repro/internal/lanes"
 	"repro/internal/radio"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -167,6 +169,40 @@ dispatch:
 		return out, done, radio.Canceled(ctx)
 	}
 	return out, done, nil
+}
+
+// RunLanes runs `trials` independent broadcasts of a uniform protocol on
+// one fixed graph through the bit-parallel lane engine: 64 trials advance
+// per edge pass, sharded into lane blocks across a GOMAXPROCS worker
+// pool. Trial i measures the completion round under seed Seeds(trials,
+// baseSeed)[i] — the repository-wide per-trial seed convention — with
+// maxRounds+1 for trials that do not finish in budget, exactly the
+// radio.BroadcastTimeOn sentinel.
+//
+// ok is false (and values nil) when p declares no full uniform schedule
+// over the budget (no radio.UniformProtocol, or a non-uniform round);
+// callers fall back to Run/RunWith with the scalar engine. Lane purity
+// makes each value a function of its trial seed alone, so results are
+// bitwise independent of lane width, block sharding, worker count and
+// GOMAXPROCS — but the lane engine is a new randomness stream: values
+// are distributionally identical to a scalar sweep of the same seeds,
+// not bit-identical to one (the PR 3 stream policy).
+func RunLanes(g *graph.Graph, src int32, p radio.Protocol, maxRounds, trials int, baseSeed uint64) (values []float64, ok bool) {
+	plan, ok := lanes.NewPlan(p, maxRounds)
+	if !ok {
+		return nil, false
+	}
+	if trials <= 0 {
+		return []float64{}, true
+	}
+	rounds := make([]int, trials)
+	// Background context: RunBlocks cannot fail without cancellation.
+	_ = lanes.RunBlocks(context.Background(), g, []int32{src}, plan, Seeds(trials, baseSeed), 0, 0, rounds)
+	out := make([]float64, trials)
+	for i, r := range rounds {
+		out[i] = float64(r)
+	}
+	return out, true
 }
 
 // RunObserved is RunWith with per-worker trace observers: each worker

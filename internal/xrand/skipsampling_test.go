@@ -1,0 +1,107 @@
+package xrand_test
+
+// Distributional witnesses for the lane engine's skip-sampling stream
+// (see internal/lanes): BinomialExp counts exactly the geometric skips
+// the lane transmitter sampler walks, so BinomialExp ≡ Binomial in
+// distribution is the statistical guarantee that lane trials sample the
+// same per-round transmitter-count law as scalar trials.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// chiSquareTwoSample compares two equal-size histograms; returns the
+// statistic and degrees of freedom (pooling empty bins).
+func chiSquareTwoSample(a, b []int) (float64, int) {
+	chi2, df := 0.0, 0
+	for i := range a {
+		s := a[i] + b[i]
+		if s == 0 {
+			continue
+		}
+		d := float64(a[i] - b[i])
+		chi2 += d * d / float64(s)
+		df++
+	}
+	return chi2, df - 1
+}
+
+func TestBinomialExpMatchesBinomialChiSquare(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{40, 0.04},  // the lane engine's selective-phase regime
+		{200, 0.1},  // moderate
+		{64, 0.75},  // exercises the p > 0.5 mirror
+		{1000, 0.5}, // symmetric
+	}
+	for _, tc := range cases {
+		const draws = 1 << 16
+		ra := xrand.New(411)
+		rb := xrand.New(97)
+		bins := tc.n + 1
+		a := make([]int, bins)
+		b := make([]int, bins)
+		for i := 0; i < draws; i++ {
+			a[ra.Binomial(tc.n, tc.p)]++
+			b[rb.BinomialExp(tc.n, tc.p)]++
+		}
+		chi2, df := chiSquareTwoSample(a, b)
+		// 5-sigma band around the chi-square mean df.
+		if limit := float64(df) + 5*math.Sqrt(2*float64(df)); chi2 > limit {
+			t.Errorf("Binomial(%d, %g) vs BinomialExp: chi2=%.1f df=%d (limit %.1f)", tc.n, tc.p, chi2, df, limit)
+		}
+	}
+}
+
+func TestGeometricExpAgainstTheory(t *testing.T) {
+	// GeometricExp(lam) = floor(Exp(lam)) is geometric with success
+	// probability 1 - e^-lam: P(X = k) = (1 - q) q^k, q = e^-lam. This is
+	// the per-lane skip law of the lane engine at q_round = 1 - e^-lam.
+	const lam = 0.25
+	q := math.Exp(-lam)
+	const draws = 1 << 17
+	const bins = 24 // tail pooled into the last bin
+	counts := make([]int, bins)
+	r := xrand.New(20260808)
+	for i := 0; i < draws; i++ {
+		k := r.GeometricExp(lam)
+		if k >= bins-1 {
+			k = bins - 1
+		}
+		counts[k]++
+	}
+	chi2, df := 0.0, bins-1
+	for k := 0; k < bins; k++ {
+		pk := (1 - q) * math.Pow(q, float64(k))
+		if k == bins-1 {
+			pk = math.Pow(q, float64(k)) // tail mass
+		}
+		exp := pk * draws
+		d := float64(counts[k]) - exp
+		chi2 += d * d / exp
+	}
+	if limit := float64(df) + 5*math.Sqrt(2*float64(df)); chi2 > limit {
+		t.Errorf("GeometricExp(%g): chi2=%.1f df=%d (limit %.1f)", lam, chi2, df, limit)
+	}
+}
+
+// TestReseedMatchesNew: Reseed(s) must put the generator in exactly the
+// state New(s) starts in — the lane engine reseeds one generator per
+// lane per trial instead of allocating fresh ones.
+func TestReseedMatchesNew(t *testing.T) {
+	r := xrand.New(1)
+	for _, seed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		r.Reseed(seed)
+		fresh := xrand.New(seed)
+		for i := 0; i < 32; i++ {
+			if a, b := r.Uint64(), fresh.Uint64(); a != b {
+				t.Fatalf("seed %d, draw %d: Reseed stream %x != New stream %x", seed, i, a, b)
+			}
+		}
+	}
+}

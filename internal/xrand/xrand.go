@@ -42,6 +42,15 @@ func splitmix64(state *uint64) uint64 {
 // are, for all practical purposes, independent.
 func New(seed uint64) *Rand {
 	r := &Rand{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed reinitialises r in place to exactly the state New(seed) returns,
+// so callers that hold many generators — the lane engine keeps one stream
+// per trial lane — can reseed a batch of them per run without
+// reallocating.
+func (r *Rand) Reseed(seed uint64) {
 	sm := seed
 	r.s0 = splitmix64(&sm)
 	r.s1 = splitmix64(&sm)
@@ -52,7 +61,6 @@ func New(seed uint64) *Rand {
 	if r.s0|r.s1|r.s2|r.s3 == 0 {
 		r.s0 = 0x9e3779b97f4a7c15
 	}
-	return r
 }
 
 // Derive returns a new generator whose stream is independent of r's for any
@@ -215,6 +223,44 @@ func (r *Rand) Binomial(n int, p float64) int {
 	for i < n {
 		count++
 		i += 1 + r.Geometric(p)
+	}
+	return count
+}
+
+// GeometricExp is Geometric(p) for a caller that has precomputed
+// lambda = -math.Log1p(-p) > 0, drawing the underlying exponential with the
+// ziggurat sampler instead of a logarithm: floor(Exp(1)/lambda) is exactly
+// geometrically distributed with success probability p. Same distribution
+// as Geometric(p), different stream, and roughly 3x cheaper per draw — the
+// lane engine's per-lane binomial sampling sits on this.
+func (r *Rand) GeometricExp(lambda float64) int {
+	return int(r.ExpZiggurat() / lambda)
+}
+
+// BinomialExp returns a sample from Binomial(n, p) by counting
+// ziggurat-exponential geometric skips. It follows exactly the same
+// skip-counting structure (including the p > 0.5 mirror) as Binomial, so the
+// two are distributionally identical; only the underlying uniform stream
+// usage differs. Expected cost is O(n·min(p,1-p)) cheap exponential draws.
+func (r *Rand) BinomialExp(n int, p float64) int {
+	if n < 0 {
+		panic("xrand: BinomialExp requires n >= 0")
+	}
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - r.BinomialExp(n, 1-p)
+	}
+	lambda := -math.Log1p(-p)
+	count := 0
+	i := r.GeometricExp(lambda)
+	for i < n {
+		count++
+		i += 1 + r.GeometricExp(lambda)
 	}
 	return count
 }

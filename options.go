@@ -32,6 +32,7 @@ type runConfig struct {
 	obs       Observer
 	extraSrc  []int32
 	perNode   bool
+	engine    *Engine
 }
 
 // WithDegree sizes the paper's distributed protocol (Theorem 7) for
@@ -114,6 +115,24 @@ func WithPerNodeSampling() Option {
 	return func(c *runConfig) { c.perNode = true }
 }
 
+// WithEngine runs the simulation on a caller-supplied engine instead of
+// allocating a fresh one — the engine-pooling path of long-running
+// servers, which would otherwise pay an O(n) engine allocation per
+// request. The engine must have been built for the same graph g
+// (ErrConflictingOptions otherwise); its sources, observer and sampling
+// mode are re-initialised from this call's own options, so a pooled
+// engine run is bit-for-bit identical to a fresh-engine run with the
+// same options. Mutually exclusive with WithSchedule (schedule replay
+// builds its own execution state).
+//
+// To keep the steady state free of O(n) allocations, the returned
+// Result's InformedAt aliases an engine-owned buffer that the engine's
+// NEXT run overwrites — copy it if it must outlive the engine's reuse
+// cycle.
+func WithEngine(e *Engine) Option {
+	return func(c *runConfig) { c.engine = e }
+}
+
 // Run simulates one broadcast of a message from src on g under the radio
 // model and returns the result. With no options it runs the paper's
 // distributed protocol (Theorem 7) sized for the graph's mean degree,
@@ -172,6 +191,10 @@ func RunContext(ctx context.Context, g *Graph, src int32, opts ...Option) (Resul
 		return Result{}, fmt.Errorf("%w: WithRand and WithSeed are mutually exclusive", ErrConflictingOptions)
 	case c.hasMax && c.maxRounds < 0:
 		return Result{}, fmt.Errorf("%w: negative round budget %d", ErrConflictingOptions, c.maxRounds)
+	case c.engine != nil && c.schedule != nil:
+		return Result{}, fmt.Errorf("%w: WithEngine excludes WithSchedule", ErrConflictingOptions)
+	case c.engine != nil && c.engine.Graph() != g:
+		return Result{}, fmt.Errorf("%w: WithEngine engine was built for a different graph", ErrConflictingOptions)
 	}
 
 	sources := append([]int32{src}, c.extraSrc...)
@@ -204,11 +227,15 @@ func RunContext(ctx context.Context, g *Graph, src int32, opts ...Option) (Resul
 	if !c.hasMax {
 		maxRounds = core.MaxRoundsFor(g.N())
 	}
-	e := radio.NewEngineMulti(g, sources, radio.StrictInformed)
-	e.Attach(c.obs)
-	if c.perNode {
-		e.SetPerNodeSampling(true)
+	e := c.engine
+	if e == nil {
+		e = radio.NewEngineMulti(g, sources, radio.StrictInformed)
+	} else {
+		e.SetSources(sources)
+		e.SetResultReuse(true)
 	}
+	e.Attach(c.obs)
+	e.SetPerNodeSampling(c.perNode)
 	return e.RunProtocolContext(c.ctx, p, maxRounds, rng)
 }
 
