@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint bench bench-record experiments verify cover race campaign-smoke fuzz-smoke serve-smoke clean
+.PHONY: all build test vet lint bench bench-record experiments verify cover race campaign-smoke fuzz-smoke serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -70,6 +70,14 @@ campaign-smoke:
 # require a clean drain with exit code 0.
 serve-smoke:
 	go test -run '^TestDaemonSmoke$$' -count=1 -v ./cmd/radiosimd/
+
+# End-to-end smoke test of the cluster subsystem: build the campaign and
+# radiosimd binaries, boot a coordinator plus two workers, SIGKILL one
+# worker while it holds a lease mid-shard, and require the distributed
+# report to be byte-identical to a local single-process run — the lease
+# must expire and the shard be reassigned to the surviving worker.
+cluster-smoke:
+	go test -run '^TestClusterSmoke$$' -count=1 -v ./cmd/campaign/
 
 # Short mutation run of every native fuzz target (go's one-fuzz-target-
 # per-invocation limit forces the loop). The checked-in seed corpora under

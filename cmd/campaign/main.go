@@ -9,7 +9,11 @@
 //	                [-halt-after N] [-points LO:HI] [-json] [-quiet]
 //	campaign resume -out DIR [-workers N] [-lanes N] [-json] [-quiet]
 //	campaign report -out DIR [-json]
-//	campaign merge  -out DIR SRC1 SRC2 ...
+//	campaign merge  -out DIR [-allow-overlap] SRC1 SRC2 ...
+//	campaign cluster -spec FILE -peers URL1,URL2 [-out DIR] [-addr A]
+//	                 [-advertise URL] [-shard-points N] [-ttl D]
+//	                 [-max-attempts N] [-leases-per-worker N] [-lanes N]
+//	                 [-resume] [-json] [-quiet]
 //
 // `spec` prints a preset campaign spec as JSON (edit it, or write your
 // own). `run` executes a spec, streaming completed trials into sharded
@@ -18,7 +22,17 @@
 // the final report is byte-identical to an uninterrupted run. `report`
 // recomputes the report from a checkpoint without running anything.
 // `merge` unions checkpoints of the same spec recorded by different
-// machines (run with disjoint -points slices) into one directory.
+// machines (run with disjoint -points slices) into one directory; sources
+// recording the same (point, trial) indicate overlapping slices and fail
+// the merge unless -allow-overlap.
+//
+// `cluster` runs a campaign across a fleet of radiosimd workers: it
+// slices the point grid into shards, offers time-bounded leases to the
+// workers, heartbeat-tracks their liveness, reassigns expired or failed
+// leases with bounded retries, and aggregates the returned samples into
+// a report byte-identical to a local `campaign run` of the same spec —
+// including runs where a worker is killed mid-shard. See internal/cluster
+// and DESIGN.md §9.
 //
 // Fixed-graph points of the lane-capable kinds (distributed, decay,
 // aloha) run on the bit-parallel lane engine, -lanes trials per block
@@ -35,14 +49,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 )
 
 // specJSON renders a spec as indented JSON with a trailing newline.
@@ -71,6 +92,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "merge":
 		err = cmdMerge(os.Args[2:])
+	case "cluster":
+		err = cmdCluster(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -92,7 +115,10 @@ func usage() {
                   [-halt-after N] [-points LO:HI] [-json] [-quiet]
   campaign resume -out DIR [-workers N] [-lanes N] [-json] [-quiet]
   campaign report -out DIR [-json]
-  campaign merge  -out DIR SRC1 SRC2 ...`)
+  campaign merge  -out DIR [-allow-overlap] SRC1 SRC2 ...
+  campaign cluster -spec FILE -peers URL1,URL2 [-out DIR] [-addr A] [-advertise URL]
+                   [-shard-points N] [-ttl D] [-max-attempts N]
+                   [-leases-per-worker N] [-lanes N] [-resume] [-json] [-quiet]`)
 }
 
 func cmdSpec(args []string) error {
@@ -186,8 +212,9 @@ func cmdRun(args []string, resume bool) error {
 		opt.Progress = os.Stderr
 	}
 	if *points != "" {
-		if _, err := fmt.Sscanf(*points, "%d:%d", &opt.PointLo, &opt.PointHi); err != nil {
-			return fmt.Errorf("run: -points must be LO:HI, got %q", *points)
+		opt.PointLo, opt.PointHi, err = parsePointRange(*points)
+		if err != nil {
+			return fmt.Errorf("run: %w", err)
 		}
 	}
 
@@ -213,6 +240,36 @@ func cmdRun(args []string, resume bool) error {
 	return printReport(report, *jsonOut)
 }
 
+// parsePointRange parses a -points value strictly: exactly "LO:HI" with
+// decimal integers, 0 <= LO < HI, and nothing else — no trailing garbage
+// (Sscanf would accept "0:5x"), no negative bounds, no empty or inverted
+// ranges. The upper bound is checked against the grid by campaign.Run,
+// which knows the spec.
+func parsePointRange(s string) (lo, hi int, err error) {
+	bad := func(why string) (int, int, error) {
+		return 0, 0, fmt.Errorf("-points must be LO:HI (half-open, 0 <= LO < HI), got %q: %s", s, why)
+	}
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return bad("missing ':'")
+	}
+	if strings.IndexByte(s[i+1:], ':') >= 0 {
+		return bad("more than one ':'")
+	}
+	lo, loErr := strconv.Atoi(s[:i])
+	hi, hiErr := strconv.Atoi(s[i+1:])
+	if loErr != nil || hiErr != nil {
+		return bad("bounds must be decimal integers")
+	}
+	if lo < 0 || hi < 0 {
+		return bad("bounds must be non-negative")
+	}
+	if lo >= hi {
+		return bad("LO must be below HI")
+	}
+	return lo, hi, nil
+}
+
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("campaign report", flag.ExitOnError)
 	out := fs.String("out", "", "checkpoint directory (required)")
@@ -231,6 +288,7 @@ func cmdReport(args []string) error {
 func cmdMerge(args []string) error {
 	fs := flag.NewFlagSet("campaign merge", flag.ExitOnError)
 	out := fs.String("out", "", "destination checkpoint directory (required)")
+	allowOverlap := fs.Bool("allow-overlap", false, "permit sources recording identical duplicates of the same (point, trial) — overlapping -points slices — instead of failing the merge")
 	fs.Parse(args)
 	if *out == "" {
 		return fmt.Errorf("merge: -out is required")
@@ -239,13 +297,138 @@ func cmdMerge(args []string) error {
 	if len(srcs) == 0 {
 		return fmt.Errorf("merge: at least one source checkpoint directory is required")
 	}
-	m, err := campaign.Merge(*out, srcs)
+	m, err := campaign.MergeOverlapping(*out, srcs, *allowOverlap)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "campaign: merged %d samples from %d checkpoints into %s (complete=%v)\n",
 		m.Recorded, len(srcs), *out, m.Complete)
 	return nil
+}
+
+// cmdCluster drives a campaign across a fleet of radiosimd workers as
+// the cluster coordinator (see internal/cluster).
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("campaign cluster", flag.ExitOnError)
+	specPath := fs.String("spec", "", "campaign spec JSON ('-' for stdin; resume reads it from the checkpoint)")
+	out := fs.String("out", "", "coordinator checkpoint directory (optional; required for -resume)")
+	addr := fs.String("addr", "127.0.0.1:0", "coordinator listen address for worker callbacks")
+	advertise := fs.String("advertise", "", "coordinator base URL as workers reach it (default http://<bound addr>)")
+	peers := fs.String("peers", "", "comma-separated radiosimd worker base URLs (required)")
+	shardPoints := fs.Int("shard-points", 0, "grid points per shard (0 = 1, the finest grain)")
+	ttl := fs.Duration("ttl", 0, "lease TTL; a lease silent this long is expired and its shard reassigned (0 = 5s)")
+	maxAttempts := fs.Int("max-attempts", 0, "lease budget per shard before the campaign fails (0 = 3)")
+	leasesPerWorker := fs.Int("leases-per-worker", 0, "concurrently leased shards per worker; workers also apply their own -shard-workers backpressure (0 = 1)")
+	lanesN := fs.Int("lanes", 0, "lane setting every worker runs with (0 = auto, 1 = force scalar); all shards share it so all samples come from one engine")
+	resumeFlag := fs.Bool("resume", false, "resume from the checkpoint in -out, leasing only incomplete shards")
+	jsonOut := fs.Bool("json", false, "print the final report as JSON instead of text")
+	quiet := fs.Bool("quiet", false, "suppress progress output")
+	fs.Parse(args)
+
+	var workers []string
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if !strings.Contains(p, "://") {
+			p = "http://" + p
+		}
+		workers = append(workers, p)
+	}
+	if len(workers) == 0 {
+		return fmt.Errorf("cluster: -peers is required (comma-separated radiosimd worker URLs)")
+	}
+
+	var spec *campaign.Spec
+	var err error
+	switch {
+	case *specPath != "":
+		var b []byte
+		if *specPath == "-" {
+			b, err = io.ReadAll(os.Stdin)
+		} else {
+			b, err = os.ReadFile(*specPath)
+		}
+		if err != nil {
+			return err
+		}
+		spec, err = campaign.ParseSpec(b)
+		if err != nil {
+			return err
+		}
+	case *resumeFlag:
+		if *out == "" {
+			return fmt.Errorf("cluster: -resume requires -out")
+		}
+		m, err := campaign.ReadManifest(*out)
+		if err != nil {
+			return fmt.Errorf("cluster resume: %w (pass -spec to start a fresh run)", err)
+		}
+		spec = m.Spec
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("cluster: -spec is required")
+	}
+
+	// The coordinator needs its own listener: workers call back with
+	// heartbeats and results.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	adv := *advertise
+	if adv == "" {
+		adv = "http://" + ln.Addr().String()
+	}
+	cfg := cluster.Config{
+		Workers:         workers,
+		Advertise:       adv,
+		LeaseTTL:        *ttl,
+		MaxAttempts:     *maxAttempts,
+		PointsPerShard:  *shardPoints,
+		LeasesPerWorker: *leasesPerWorker,
+		Lanes:           *lanesN,
+		Dir:             *out,
+		Resume:          *resumeFlag,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	coord, err := cluster.NewCoordinator(spec, cfg)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	httpSrv := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(sctx)
+	}()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "campaign: cluster coordinator on %s (advertise %s), %d worker(s)\n",
+			ln.Addr(), adv, len(workers))
+	}
+
+	// ^C cancels the coordinator loop; it flushes the checkpoint and
+	// returns the partial report, and `cluster -resume` picks up there.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	report, err := coord.Run(ctx)
+	if err != nil {
+		return err
+	}
+	select {
+	case err := <-serveErr:
+		return fmt.Errorf("cluster: coordinator listener: %w", err)
+	default:
+	}
+	return printReport(report, *jsonOut)
 }
 
 func printReport(r *campaign.Report, asJSON bool) error {

@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestParsePointRange: -points parsing is strict — Sscanf used to accept
+// "0:5x" and negative bounds silently.
+func TestParsePointRange(t *testing.T) {
+	good := map[string][2]int{
+		"0:5":   {0, 5},
+		"1:2":   {1, 2},
+		"10:42": {10, 42},
+	}
+	for in, want := range good {
+		lo, hi, err := parsePointRange(in)
+		if err != nil || lo != want[0] || hi != want[1] {
+			t.Errorf("parsePointRange(%q) = (%d, %d, %v), want (%d, %d, nil)", in, lo, hi, err, want[0], want[1])
+		}
+	}
+	bad := []string{
+		"",      // empty
+		"0:5x",  // trailing garbage after HI
+		"x0:5",  // garbage before LO
+		"0x:5",  // garbage after LO
+		"-1:3",  // negative LO
+		"0:-3",  // negative HI
+		"3:1",   // inverted
+		"3:3",   // empty range
+		"1:2:3", // too many fields
+		"5",     // no colon
+		":5",    // missing LO
+		"5:",    // missing HI
+		"1.5:3", // not an integer
+		"0: 5",  // embedded space
+	}
+	for _, in := range bad {
+		if lo, hi, err := parsePointRange(in); err == nil {
+			t.Errorf("parsePointRange(%q) = (%d, %d, nil), want error", in, lo, hi)
+		}
+	}
+}
+
+// buildBinary compiles a command package into dir and returns the path.
+func buildBinary(t *testing.T, dir, name, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	build := exec.Command("go", "build", "-o", bin, pkg)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+// startWorker boots a radiosimd worker process and returns its base URL
+// plus the process handle.
+func startWorker(t *testing.T, bin string, extraArgs ...string) (string, *exec.Cmd) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-grace", "2s"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("worker produced no startup line: %v", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("unexpected worker startup line %q", line)
+	}
+	go func() { // keep the pipe drained
+		for sc.Scan() {
+		}
+	}()
+	return "http://" + strings.TrimSpace(line[i+len(marker):]), cmd
+}
+
+// awaitLeaseAccepted polls a worker's /metrics until it has admitted at
+// least one shard lease.
+func awaitLeaseAccepted(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.After(30 * time.Second)
+	for {
+		accepted := func() int64 {
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				return 0
+			}
+			defer resp.Body.Close()
+			var m struct {
+				Shards struct {
+					Accepted int64 `json:"accepted"`
+				} `json:"shards"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				return 0
+			}
+			return m.Shards.Accepted
+		}()
+		if accepted >= 1 {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("worker never admitted a shard lease")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// TestClusterSmoke is the end-to-end distributed campaign smoke test
+// (the Makefile cluster-smoke target runs it): build both binaries, boot
+// a coordinator and two workers, SIGKILL one worker while it holds a
+// lease mid-shard, and require the distributed report to come out
+// byte-identical to a local single-process run of the same spec.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary smoke test skipped in -short mode")
+	}
+	dir := t.TempDir()
+	campaignBin := buildBinary(t, dir, "campaign", ".")
+	radiosimdBin := buildBinary(t, dir, "radiosimd", "repro/cmd/radiosimd")
+
+	// The spec comes from the CLI itself, like a user would get it.
+	specPath := filepath.Join(dir, "smoke.json")
+	specOut, err := exec.Command(campaignBin, "spec", "-preset", "smoke", "-seed", "2006").Output()
+	if err != nil {
+		t.Fatalf("campaign spec: %v", err)
+	}
+	if err := os.WriteFile(specPath, specOut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The local ground truth.
+	local := exec.Command(campaignBin, "run", "-spec", specPath, "-out", filepath.Join(dir, "ck-local"), "-json", "-quiet")
+	localReport, err := local.Output()
+	if err != nil {
+		t.Fatalf("local campaign run: %v", err)
+	}
+
+	// Worker A holds every shard for 10s before its first trial — long
+	// enough that the SIGKILL below provably lands mid-shard, while its
+	// heartbeats keep the lease alive until the kill.
+	urlA, workerA := startWorker(t, radiosimdBin, "-shard-workers", "1", "-shard-start-delay", "10s")
+	urlB, _ := startWorker(t, radiosimdBin, "-shard-workers", "1")
+
+	clusterCmd := exec.Command(campaignBin, "cluster",
+		"-spec", specPath,
+		"-out", filepath.Join(dir, "ck-cluster"),
+		"-peers", urlA+","+urlB,
+		"-ttl", "700ms",
+		"-json")
+	var clusterReport, clusterLog bytes.Buffer
+	clusterCmd.Stdout = &clusterReport
+	clusterCmd.Stderr = &clusterLog
+	if err := clusterCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { clusterCmd.Process.Kill() })
+
+	// Kill worker A the moment it provably holds a lease: its shard can
+	// never have produced a result (10s start delay), so the coordinator
+	// MUST recover through lease expiry and reassignment.
+	awaitLeaseAccepted(t, urlA)
+	if err := workerA.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- clusterCmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("campaign cluster exited non-zero: %v\nstderr:\n%s", err, clusterLog.String())
+		}
+	case <-time.After(120 * time.Second):
+		t.Fatalf("campaign cluster never finished\nstderr so far:\n%s", clusterLog.String())
+	}
+
+	if !bytes.Equal(clusterReport.Bytes(), localReport) {
+		t.Errorf("distributed report is not byte-identical to the local run\ncluster:\n%s\nlocal:\n%s",
+			clusterReport.Bytes(), localReport)
+	}
+	// The coordinator's summary line proves the recovery path actually
+	// ran: the killed worker's lease expired and was reassigned.
+	summary := clusterLog.String()
+	for _, counter := range []string{"expired", "reassigned"} {
+		re := regexp.MustCompile(`(\d+) ` + counter)
+		m := re.FindStringSubmatch(summary)
+		if m == nil {
+			t.Fatalf("coordinator summary missing %q counter:\n%s", counter, summary)
+		}
+		if n, _ := strconv.Atoi(m[1]); n < 1 {
+			t.Errorf("coordinator summary reports %s %s, want >= 1 (the kill must exercise expiry + reassignment):\n%s",
+				m[1], counter, summary)
+		}
+	}
+	fmt.Println("cluster-smoke: ok")
+}

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	radiosimd [-addr :8357] [-workers N] [-queue N] [-cache N]
-//	          [-campaign-workers N] [-timeout D] [-max-timeout D] [-grace D]
+//	          [-campaign-workers N] [-shard-workers N] [-timeout D]
+//	          [-max-timeout D] [-grace D] [-shard-start-delay D]
 //
 // Endpoints:
 //
@@ -13,8 +14,11 @@
 //	POST /v1/run/stream   same, streaming per-round records as JSON Lines
 //	POST /v1/campaign     submit a campaign spec; returns an id to poll
 //	GET  /v1/campaign/{id} campaign state and, once done, the report
+//	POST /v1/shard/lease  accept a cluster coordinator's shard lease offer
+//	                      (429 + Retry-After when every shard slot is busy;
+//	                      see 'campaign cluster' and internal/cluster)
 //	GET  /healthz         liveness probe
-//	GET  /metrics         pool, cache, latency and campaign counters
+//	GET  /metrics         pool, cache, latency, campaign and shard counters
 //
 // A full queue answers 429 with Retry-After — the daemon applies
 // backpressure instead of queueing unboundedly. SIGINT/SIGTERM drain
@@ -64,6 +68,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 	queue := fs.Int("queue", 0, "pending-request queue bound (0 = default)")
 	cache := fs.Int("cache", 0, "graph LRU capacity (0 = default)")
 	campaignWorkers := fs.Int("campaign-workers", 0, "concurrently running campaigns (0 = default)")
+	shardWorkers := fs.Int("shard-workers", 0, "concurrently running cluster shards; more lease offers get 429 (0 = default)")
+	shardStartDelay := fs.Duration("shard-start-delay", 0, "delay every admitted shard before its first trial (chaos/testing knob)")
 	timeout := fs.Duration("timeout", 0, "default per-run deadline (0 = default)")
 	maxTimeout := fs.Duration("max-timeout", 0, "cap on request-supplied deadlines (0 = default)")
 	grace := fs.Duration("grace", 10*time.Second, "drain grace on shutdown before canceling running work")
@@ -79,6 +85,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string) error {
 		QueueCap:        *queue,
 		CacheEntries:    *cache,
 		CampaignWorkers: *campaignWorkers,
+		ShardWorkers:    *shardWorkers,
+		ShardStartDelay: *shardStartDelay,
 		DefaultTimeout:  *timeout,
 		MaxTimeout:      *maxTimeout,
 	})

@@ -67,6 +67,24 @@ type Manifest struct {
 	// lane-sensitive spec refuses a mismatch rather than silently mixing
 	// streams within one checkpoint.
 	Engine string `json:"engine,omitempty"`
+	// Leases is the cluster coordinator's shard bookkeeping, recorded so
+	// a restarted coordinator resumes with its lease history visible (the
+	// samples themselves remain the source of truth for what is done —
+	// see SampleSet.RangeComplete). Empty for single-machine runs.
+	Leases []ShardLease `json:"leases,omitempty"`
+}
+
+// ShardLease is one shard's lease record as persisted in the manifest by
+// a cluster coordinator: which point range it covers, its current state
+// in the lease state machine (pending → leased → completed | failed),
+// how many leases it consumed, and the last worker it was granted to.
+type ShardLease struct {
+	ID       string `json:"id"`
+	PointLo  int    `json:"point_lo"`
+	PointHi  int    `json:"point_hi"`
+	State    string `json:"state"`
+	Attempts int    `json:"attempts,omitempty"`
+	Worker   string `json:"worker,omitempty"`
 }
 
 // Engine tags recorded in Manifest.Engine.
@@ -107,8 +125,14 @@ type Checkpoint struct {
 	files    []*os.File
 	encs     []*trace.LineEncoder
 	recorded int
-	skipped  int // corrupt shard lines skipped on open (resume only)
+	skipped  int          // corrupt shard lines skipped on open (resume only)
+	leases   []ShardLease // cluster lease bookkeeping, written with the manifest
 }
+
+// SetLeases replaces the lease bookkeeping persisted with the next
+// manifest rewrite (Flush). The cluster coordinator snapshots its lease
+// table here so a restarted coordinator sees where every shard stood.
+func (c *Checkpoint) SetLeases(leases []ShardLease) { c.leases = leases }
 
 // CreateCheckpoint initialises dir (creating it if needed) for a fresh
 // campaign run recording samples from the given engine (EngineScalar or
@@ -162,7 +186,7 @@ func OpenCheckpoint(dir string, spec *Spec, engine string) (*Checkpoint, map[key
 	if err != nil {
 		return nil, nil, err
 	}
-	c := &Checkpoint{dir: dir, spec: spec, engine: engine, recorded: len(samples), skipped: skipped}
+	c := &Checkpoint{dir: dir, spec: spec, engine: engine, recorded: len(samples), skipped: skipped, leases: m.Leases}
 	for i := 0; i < spec.shards(); i++ {
 		f, err := os.OpenFile(filepath.Join(dir, shardName(i)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
@@ -299,6 +323,7 @@ func (c *Checkpoint) writeManifest(complete bool) error {
 		Recorded: c.recorded,
 		Complete: complete,
 		Engine:   c.engine,
+		Leases:   c.leases,
 	}
 	b, err := json.MarshalIndent(&m, "", "  ")
 	if err != nil {
@@ -328,17 +353,31 @@ func (c *Checkpoint) Close() error {
 
 // Merge unions the samples of several checkpoint directories recorded
 // under the same spec (for example distributed across machines with
-// disjoint -points slices) into a fresh checkpoint at dst. Duplicate
-// (point, trial) records are identical by construction, so the union is
-// well defined; the merged directory is reported and resumed like any
-// other.
+// disjoint -points slices) into a fresh checkpoint at dst. The sources
+// are expected to cover DISJOINT shard ranges: a (point, trial) recorded
+// by two different sources means overlapping -points slices (wasted
+// compute, probably a sharding mistake) and Merge reports it as an error
+// instead of silently unioning. MergeOverlapping relaxes that for
+// identical duplicates; a conflicting duplicate — same coordinates,
+// different content — is always an error, since samples are pure
+// functions of their coordinates and a divergence means corruption or an
+// engine mismatch.
 func Merge(dst string, srcs []string) (*Manifest, error) {
+	return MergeOverlapping(dst, srcs, false)
+}
+
+// MergeOverlapping is Merge with an explicit overlap policy: with
+// allowOverlap, identical duplicate records across sources are merged
+// silently (useful when re-merging a superset, or after re-running a
+// shard for verification); conflicting duplicates still fail.
+func MergeOverlapping(dst string, srcs []string, allowOverlap bool) (*Manifest, error) {
 	if len(srcs) == 0 {
 		return nil, errors.New("campaign: merge needs at least one source")
 	}
 	var spec *Spec
 	var hash, engine string
-	all := make(map[key]*Sample)
+	var set *SampleSet
+	owner := make(map[key]string) // which source first recorded a key
 	for _, src := range srcs {
 		m, samples, _, err := LoadSamples(src)
 		if err != nil {
@@ -346,6 +385,7 @@ func Merge(dst string, srcs []string) (*Manifest, error) {
 		}
 		if spec == nil {
 			spec, hash, engine = m.Spec, m.SpecHash, m.Engine
+			set = NewSampleSet(spec)
 		} else if m.SpecHash != hash {
 			return nil, fmt.Errorf("campaign: %s was recorded under spec hash %s, %s under %s; refusing to merge different specs",
 				srcs[0], hash, src, m.SpecHash)
@@ -353,8 +393,29 @@ func Merge(dst string, srcs []string) (*Manifest, error) {
 			return nil, fmt.Errorf("campaign: %s was recorded by the %s engine, %s by the %s engine; the streams differ for lane-capable points, refusing to merge them",
 				srcs[0], engineName(engine), src, engineName(m.Engine))
 		}
-		for k, s := range samples {
-			all[k] = s
+		// Iterate in grid order so any error names the lowest offending
+		// coordinates deterministically.
+		keys := make([]key, 0, len(samples))
+		for k := range samples {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].point != keys[j].point {
+				return keys[i].point < keys[j].point
+			}
+			return keys[i].trial < keys[j].trial
+		})
+		for _, k := range keys {
+			added, err := set.Add(*samples[k])
+			if err != nil {
+				return nil, fmt.Errorf("campaign: merging %s into %s: %w", src, dst, err)
+			}
+			if added {
+				owner[k] = src
+			} else if !allowOverlap {
+				return nil, fmt.Errorf("campaign: %s and %s overlap: both record point %d trial %d (identical values, so the same range ran twice — merge disjoint -points slices, or pass -allow-overlap to union anyway)",
+					owner[k], src, k.point, k.trial)
+			}
 		}
 	}
 	c, err := CreateCheckpoint(dst, spec, engine)
@@ -363,20 +424,11 @@ func Merge(dst string, srcs []string) (*Manifest, error) {
 	}
 	defer c.Close()
 	// Deterministic shard contents: append in grid order.
-	keys := make([]key, 0, len(all))
-	for k := range all {
-		keys = append(keys, k)
+	sorted := set.Sorted()
+	for i := range sorted {
+		c.Append(&sorted[i])
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].point != keys[j].point {
-			return keys[i].point < keys[j].point
-		}
-		return keys[i].trial < keys[j].trial
-	})
-	for _, k := range keys {
-		c.Append(all[k])
-	}
-	complete := campaignComplete(spec, all)
+	complete := set.Complete()
 	if err := c.Flush(complete); err != nil {
 		return nil, err
 	}

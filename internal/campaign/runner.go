@@ -55,6 +55,13 @@ type Options struct {
 	// for sharding a campaign across machines; (0, 0) means the whole
 	// grid. Shard checkpoints recombine with Merge.
 	PointLo, PointHi int
+	// Sink, when non-nil, receives every sample completed by THIS run
+	// (not samples loaded from a resumed checkpoint), called from the
+	// collector goroutine in completion order — scheduling-dependent, so
+	// callers needing determinism must sort by (Point, Trial) themselves.
+	// This is how a cluster worker extracts a shard's samples without a
+	// checkpoint directory.
+	Sink func(*Sample)
 	// Lanes picks the trial engine for lane-capable points (FixedGraph
 	// distributed/decay/aloha): 0 means auto (lanes.Width-wide blocks on
 	// the bit-parallel engine), >= 2 dispatches blocks of that many
@@ -290,6 +297,9 @@ func Run(spec *Spec, opt Options) (*Report, error) {
 		samples[key{s.Point, s.Trial}] = s
 		if ck != nil {
 			ck.Append(s)
+		}
+		if opt.Sink != nil {
+			opt.Sink(s)
 		}
 		newSamples++
 		sinceFlush++

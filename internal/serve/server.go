@@ -59,6 +59,16 @@ type Config struct {
 	CampaignWorkers int
 	// RetryAfter is the hint returned with 429 (default 1s).
 	RetryAfter time.Duration
+	// ShardWorkers bounds concurrently running cluster shards (default 1).
+	// A lease offer arriving with every slot busy is answered 429 +
+	// Retry-After — the same backpressure contract as the run queue — and
+	// the coordinator re-offers after backing off.
+	ShardWorkers int
+	// ShardStartDelay delays every admitted shard before its first trial
+	// (default 0). A chaos/testing knob: the cluster smoke test uses it to
+	// guarantee a SIGKILL lands while a lease is held but no result has
+	// been posted.
+	ShardStartDelay time.Duration
 }
 
 func (c *Config) withDefaults() Config {
@@ -87,6 +97,9 @@ func (c *Config) withDefaults() Config {
 	if out.RetryAfter <= 0 {
 		out.RetryAfter = time.Second
 	}
+	if out.ShardWorkers <= 0 {
+		out.ShardWorkers = 1
+	}
 	return out
 }
 
@@ -101,10 +114,12 @@ type Server struct {
 	campaignCancel context.CancelFunc
 	campaignSem    chan struct{}
 	campaignWG     sync.WaitGroup
+	shardSem       chan struct{}
 
-	mu        sync.Mutex
-	campaigns map[string]*campaignJob
-	nextID    int
+	mu         sync.Mutex
+	campaigns  map[string]*campaignJob
+	nextID     int
+	shardStats ShardStats
 
 	metrics metrics
 }
@@ -120,6 +135,7 @@ func NewServer(cfg Config) *Server {
 		campaignCtx:    ctx,
 		campaignCancel: cancel,
 		campaignSem:    make(chan struct{}, cfg.CampaignWorkers),
+		shardSem:       make(chan struct{}, cfg.ShardWorkers),
 		campaigns:      make(map[string]*campaignJob),
 	}
 }
@@ -130,6 +146,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/run/stream", s.handleRunStream)
 	mux.HandleFunc("POST /v1/campaign", s.handleCampaignSubmit)
+	mux.HandleFunc("POST /v1/shard/lease", s.handleShardLease)
 	mux.HandleFunc("GET /v1/campaign/{id}", s.handleCampaignStatus)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -566,6 +583,7 @@ type Metrics struct {
 	Cache     CacheStats               `json:"cache"`
 	Requests  map[string]EndpointStats `json:"requests"`
 	Campaigns map[string]int           `json:"campaigns"`
+	Shards    ShardStats               `json:"shards"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -574,12 +592,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, j := range s.campaigns {
 		states[j.status().State]++
 	}
+	shards := s.shardStats
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, Metrics{
 		Pool:      s.pool.Stats(),
 		Cache:     s.cache.Stats(),
 		Requests:  s.metrics.snapshot(),
 		Campaigns: states,
+		Shards:    shards,
 	})
 }
 
