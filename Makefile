@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test vet lint bench bench-record experiments verify cover race campaign-smoke fuzz-smoke serve-smoke cluster-smoke clean
+.PHONY: all build test vet lint archlint bench bench-record experiments verify cover race campaign-smoke fuzz-smoke serve-smoke cluster-smoke clean
 
 all: build vet test
 
@@ -10,9 +10,14 @@ build:
 vet:
 	go vet ./...
 
-# What the CI lint job runs: vet plus gofmt cleanliness.
-lint: vet
+# What the CI lint job runs: vet, gofmt cleanliness, and the
+# execution-layer boundary check (engines are only constructed inside
+# internal/exec; see scripts/archlint.sh).
+lint: vet archlint
 	test -z "$$(gofmt -l .)"
+
+archlint:
+	./scripts/archlint.sh
 
 test:
 	go test ./...
@@ -39,7 +44,13 @@ bench-record:
 		-comment "PR 8 acceptance record: bit-parallel lane engine (internal/lanes) vs the scalar sampled fast path. The headline metric is BenchmarkLaneBroadcast ns/trial (64 lane-parallel trials per op) against BENCH_2's per-trial scalar cost on the same n=100000 d=25 connected Gnp workload." \
 		-ref-name "BenchmarkBroadcastReuse in BENCH_2.json (scalar sampled fast path, same workload and machine)" \
 		-ref-ns 36789982 -accept-ratio 6 -out BENCH_3.json
-	@echo "bench-record: wrote BENCH_3.json"
+	go test -run '^$$' -bench 'BenchmarkLaneBroadcast$$|BenchmarkFacadeRunBatch$$' \
+		-benchmem -benchtime 2s . > /tmp/bench-record-exec.out
+	go run ./scripts/benchrecord -in /tmp/bench-record-exec.out -date $(DATE) \
+		-comment "PR 10 acceptance record: facade RunBatch through the unified execution layer (internal/exec) vs the raw lane engine on the same n=100000 d=25 workload, same run. The gate is same-run executor overhead (BenchmarkFacadeRunBatch ns/trial over BenchmarkLaneBroadcast ns/trial), which is portable across machines; a regression that drops the batch path off the lane backend lands near the 7x scalar cost, far above the bar." \
+		-lane-bench BenchmarkFacadeRunBatch -base-bench BenchmarkLaneBroadcast \
+		-max-overhead 1.25 -out BENCH_4.json
+	@echo "bench-record: wrote BENCH_3.json and BENCH_4.json"
 
 # Regenerate the EXPERIMENTS.md tables (medium scale, recorded seed).
 experiments:

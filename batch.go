@@ -13,8 +13,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/lanes"
-	"repro/internal/radio"
+	"repro/internal/exec"
 	"repro/internal/sweep"
 )
 
@@ -91,27 +90,17 @@ func RunBatch(g *Graph, src int32, trials int, opts ...Option) ([]int, error) {
 	seeds := sweep.Seeds(trials, seed)
 	out := make([]int, trials)
 
-	if plan, ok := lanes.NewPlan(p, maxRounds); ok {
-		if err := lanes.RunBlocks(ctx, g, sources, plan, seeds, 0, 0, out); err != nil {
-			return nil, err
-		}
-		return out, nil
-	}
-
-	// Scalar fallback: one engine per worker, one trial per seed. Values
-	// stay pure functions of the trial seeds (radio.BroadcastTimeOnContext
-	// resets the engine per trial), just on the scalar sampled stream.
-	values, _, err := sweep.RunWithContext(ctx, trials, seed,
-		func() *Engine { return radio.NewEngineMulti(g, sources, radio.StrictInformed) },
-		func(tctx context.Context, rng *Rand, e *Engine) float64 {
-			r, _ := radio.BroadcastTimeOnContext(tctx, e, p, maxRounds, rng)
-			return float64(r)
-		})
-	if err != nil {
+	// Backend selection lives in the unified execution layer: uniform
+	// protocols run the lane engine, everything else falls back to
+	// per-seed scalar trials on a worker pool. Values stay pure
+	// functions of the trial seeds either way.
+	if _, err := exec.RunSeeds(ctx, &exec.Request{
+		Graph:     g,
+		Sources:   sources,
+		Protocol:  p,
+		MaxRounds: maxRounds,
+	}, seeds, out); err != nil {
 		return nil, err
-	}
-	for i, v := range values {
-		out[i] = int(v)
 	}
 	return out, nil
 }

@@ -246,6 +246,39 @@ func benchLaneBroadcast(b *testing.B, n int, d float64) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*lanes.Width), "ns/trial")
 }
 
+// BenchmarkFacadeRunBatch is the executor-path guard: the exact
+// BenchmarkLaneBroadcast workload entered through the public facade, so
+// each iteration pays the whole unified execution layer — option parsing,
+// backend classification, seed derivation and lane-engine construction —
+// on top of the 64-trial lane block. Its ns/trial against BENCH_2's
+// scalar reference is recorded in BENCH_4.json with the same >= 6x bar
+// as the raw lane engine: routing every consumer through internal/exec
+// must not cost the batch path its acceptance margin.
+func BenchmarkFacadeRunBatch(b *testing.B) {
+	rng := NewRand(13)
+	const n = 100000
+	const d = 25.0
+	g, ok := ConnectedGnpDegree(n, d, rng)
+	if !ok {
+		b.Fatal("no connected sample")
+	}
+	budget := MaxRounds(n)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rounds, err := RunBatch(g, 0, int(lanes.Width), WithDegree(d), WithSeed(uint64(i)+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rounds {
+			if r > budget {
+				b.Fatal("incomplete")
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(int64(b.N)*lanes.Width), "ns/trial")
+}
+
 // BenchmarkGossipPhased measures one phased gossip run (sampled fast path:
 // Uniform/Phased declare uniform rounds); n is small because gossip state
 // is n²/8 bytes.

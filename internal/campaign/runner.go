@@ -10,7 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/lanes"
+	"repro/internal/exec"
 	"repro/internal/radio"
 	"repro/internal/sweep"
 	"repro/internal/xrand"
@@ -63,7 +63,7 @@ type Options struct {
 	// checkpoint directory.
 	Sink func(*Sample)
 	// Lanes picks the trial engine for lane-capable points (FixedGraph
-	// distributed/decay/aloha): 0 means auto (lanes.Width-wide blocks on
+	// distributed/decay/aloha): 0 means auto (exec.Width-wide blocks on
 	// the bit-parallel engine), >= 2 dispatches blocks of that many
 	// trials, and 1 (or negative) forces the scalar per-trial engine.
 	// Lane purity makes reports byte-identical across every setting >= 2
@@ -89,8 +89,8 @@ func (o *Options) flushEvery() int {
 
 func (o *Options) lanes() int {
 	switch {
-	case o.Lanes == 0 || o.Lanes > lanes.Width:
-		return lanes.Width
+	case o.Lanes == 0 || o.Lanes > exec.Width:
+		return exec.Width
 	case o.Lanes < 1:
 		return 1
 	default:

@@ -7,9 +7,9 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/lanes"
 	"repro/internal/protocols"
 	"repro/internal/radio"
 	"repro/internal/trace"
@@ -176,40 +176,42 @@ func sampleConnected(n int, d float64, rng *xrand.Rand) *graph.Graph {
 
 // protocolRunner measures the completion round of a randomized protocol:
 // value is the round the broadcast completed (maxRounds+1 if it did not),
-// ok reports completion. With FixedGraph the graph and engine are built
-// once per worker from the point seed and reused across trials
-// (Engine.Reset at each start); otherwise each trial samples a fresh
-// connected G(n,p) from its own rng.
+// ok reports completion. With FixedGraph the graph is sampled once per
+// worker from the point seed and pinned in an exec.Session, which owns
+// the engines (scalar engine reset per trial, lane engine built lazily
+// on the first batched block); otherwise each trial samples a fresh
+// connected G(n,p) from its own rng and dispatches one-shot.
 type protocolRunner struct {
 	spec      TrialSpec
 	proto     radio.Protocol
 	maxRounds int
-	engine    *radio.Engine // non-nil iff FixedGraph
-	g         *graph.Graph  // non-nil iff FixedGraph
-	plan      *lanes.Plan   // non-nil iff FixedGraph and proto is lane-uniform
-	lane      *lanes.Engine // built lazily on the first batched block
-	laneOut   []int
+	sess      *exec.Session // non-nil iff FixedGraph
+	batchOut  []int
 }
 
 func newProtocolKind(proto func(TrialSpec) radio.Protocol) NewRunnerFunc {
 	return func(p PointSpec, pointSeed uint64) (Runner, error) {
 		r := &protocolRunner{spec: p.Trial, proto: proto(p.Trial), maxRounds: p.Trial.maxRounds()}
 		if p.Trial.FixedGraph {
-			r.g = sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
-			r.engine = radio.NewEngine(r.g, 0, radio.StrictInformed)
-			r.plan, _ = lanes.NewPlan(r.proto, r.maxRounds)
+			g := sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
+			r.sess = exec.Open(&exec.Request{Graph: g, Sources: []int32{0}, Protocol: r.proto, MaxRounds: r.maxRounds})
 		}
 		return r, nil
 	}
 }
 
+// oneShot is the request for a trial on a freshly sampled graph.
+func (r *protocolRunner) oneShot(g *graph.Graph) *exec.Request {
+	return &exec.Request{Graph: g, Sources: []int32{0}, Protocol: r.proto, MaxRounds: r.maxRounds}
+}
+
 func (r *protocolRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 	var rounds int
-	if r.engine != nil {
-		rounds = radio.BroadcastTimeOn(r.engine, r.proto, r.maxRounds, rng)
+	if r.sess != nil {
+		rounds, _ = r.sess.Time(context.Background(), rng)
 	} else {
 		g := sampleConnected(r.spec.N, r.spec.D, rng)
-		rounds = radio.BroadcastTime(g, 0, r.proto, r.maxRounds, rng)
+		rounds, _ = exec.Time(context.Background(), r.oneShot(g), rng)
 	}
 	return float64(rounds), rounds <= r.maxRounds
 }
@@ -219,29 +221,31 @@ func (r *protocolRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 // instead of waiting out the round budget. Uncanceled, it is bit-identical
 // to RunTrial (the check consumes no randomness).
 func (r *protocolRunner) RunTrialContext(ctx context.Context, rng *xrand.Rand) (float64, bool, error) {
-	e := r.engine
-	if e == nil {
+	var rounds int
+	var err error
+	if r.sess != nil {
+		rounds, err = r.sess.Time(ctx, rng)
+	} else {
 		if err := ctx.Err(); err != nil {
 			return 0, false, radio.Canceled(ctx)
 		}
 		g := sampleConnected(r.spec.N, r.spec.D, rng)
-		e = radio.NewEngine(g, 0, radio.StrictInformed)
+		rounds, err = exec.Time(ctx, r.oneShot(g), rng)
 	}
-	rounds, err := radio.BroadcastTimeOnContext(ctx, e, r.proto, r.maxRounds, rng)
 	if err != nil {
 		return 0, false, err
 	}
 	return float64(rounds), rounds <= r.maxRounds, nil
 }
 
-// RunTrialBatch implements BatchRunner: one lane block advances every
-// trial of the block through the point's fixed graph simultaneously.
-// Falls back to per-seed scalar trials (identical to single dispatch)
-// when the protocol declared no uniform schedule or the graph is not
-// fixed — the work list only batches batchablePoint points, so that
-// path is a guard, not a steady state.
+// RunTrialBatch implements BatchRunner: the session advances every
+// trial of the block through the point's fixed graph simultaneously on
+// the lane engine, or falls back to per-seed scalar trials (identical
+// to single dispatch) when the protocol declared no uniform schedule.
+// The non-fixed-graph guard stays here — the work list only batches
+// batchablePoint points, so it is a guard, not a steady state.
 func (r *protocolRunner) RunTrialBatch(ctx context.Context, seeds []uint64, values []float64, oks []bool) error {
-	if r.plan == nil {
+	if r.sess == nil {
 		for i, seed := range seeds {
 			v, ok, err := r.RunTrialContext(ctx, xrand.New(seed))
 			if err != nil {
@@ -251,12 +255,11 @@ func (r *protocolRunner) RunTrialBatch(ctx context.Context, seeds []uint64, valu
 		}
 		return nil
 	}
-	if r.lane == nil {
-		r.lane = lanes.NewEngine(r.g, []int32{0}, r.plan)
-		r.laneOut = make([]int, lanes.Width)
+	if r.batchOut == nil {
+		r.batchOut = make([]int, exec.Width)
 	}
-	out := r.laneOut[:len(seeds)]
-	if err := r.lane.RunContext(ctx, seeds, out); err != nil {
+	out := r.batchOut[:len(seeds)]
+	if err := r.sess.RunSeeds(ctx, seeds, out); err != nil {
 		return err
 	}
 	for i, rounds := range out {
@@ -295,7 +298,8 @@ func (r *centralizedRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 	if err != nil {
 		panic(fmt.Sprintf("campaign: building centralized schedule: %v", err))
 	}
-	res, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+	// Schedule replay is deterministic (no rng): the schedule backend.
+	res, err := exec.Run(context.Background(), &exec.Request{Graph: g, Sources: []int32{0}, Schedule: sched}, nil)
 	if err != nil {
 		panic(fmt.Sprintf("campaign: replaying centralized schedule: %v", err))
 	}
@@ -311,7 +315,7 @@ type collisionRateRunner struct {
 	maxRounds int
 	proto     radio.Protocol // hoisted: one construction per runner, not per trial
 	counters  trace.Counters
-	engine    *radio.Engine // non-nil iff FixedGraph
+	sess      *exec.Session // non-nil iff FixedGraph; engine observed by counters
 }
 
 func newCollisionRateRunner(p PointSpec, pointSeed uint64) (Runner, error) {
@@ -322,24 +326,29 @@ func newCollisionRateRunner(p PointSpec, pointSeed uint64) (Runner, error) {
 	}
 	if p.Trial.FixedGraph {
 		g := sampleConnected(p.Trial.N, p.Trial.D, xrand.New(pointSeed).Derive(graphSeedID))
-		r.engine = radio.NewEngine(g, 0, radio.StrictInformed)
-		r.engine.Attach(&r.counters)
+		r.sess = exec.Open(&exec.Request{
+			Graph: g, Sources: []int32{0}, Protocol: r.proto,
+			MaxRounds: r.maxRounds, Observer: &r.counters,
+		})
 	}
 	return r, nil
 }
 
 func (r *collisionRateRunner) RunTrial(rng *xrand.Rand) (float64, bool) {
 	r.counters = trace.Counters{}
-	e := r.engine
-	if e == nil {
-		g := sampleConnected(r.spec.N, r.spec.D, rng)
-		e = radio.NewEngine(g, 0, radio.StrictInformed)
-		e.Attach(&r.counters)
-	}
-	// BroadcastTimeOn drives the identical round stream RunProtocolOn did
+	// Session.Time drives the identical round stream RunProtocolOn did
 	// but materialises no Result (whose InformedAt slice was an n-sized
 	// allocation per trial); the counters observer carries the aggregate.
-	rounds := radio.BroadcastTimeOn(e, r.proto, r.maxRounds, rng)
+	var rounds int
+	if r.sess != nil {
+		rounds, _ = r.sess.Time(context.Background(), rng)
+	} else {
+		g := sampleConnected(r.spec.N, r.spec.D, rng)
+		rounds, _ = exec.Time(context.Background(), &exec.Request{
+			Graph: g, Sources: []int32{0}, Protocol: r.proto,
+			MaxRounds: r.maxRounds, Observer: &r.counters,
+		}, rng)
+	}
 	completed := rounds <= r.maxRounds
 	listens := r.counters.Successes + r.counters.Collisions + r.counters.Silent
 	if listens == 0 {

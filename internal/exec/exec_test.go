@@ -1,0 +1,377 @@
+package exec_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lanes"
+	"repro/internal/protocols"
+	"repro/internal/radio"
+	"repro/internal/sweep"
+	"repro/internal/trace"
+	"repro/internal/xrand"
+)
+
+const (
+	testN = 300
+	testD = 8.0
+)
+
+func testGraph(t testing.TB, seed uint64) *graph.Graph {
+	t.Helper()
+	g, _, ok := gen.ConnectedGnp(testN, gen.PForDegree(testN, testD), xrand.New(seed), 100)
+	if !ok {
+		t.Fatal("no connected test graph")
+	}
+	return g
+}
+
+func protoReq(g *graph.Graph) *exec.Request {
+	return &exec.Request{
+		Graph:     g,
+		Sources:   []int32{0},
+		Protocol:  core.NewDistributedProtocol(g.N(), testD),
+		MaxRounds: core.MaxRoundsFor(g.N()),
+	}
+}
+
+func testSchedule(t testing.TB, g *graph.Graph) *radio.Schedule {
+	t.Helper()
+	sched, _, err := core.BuildCentralizedSchedule(g, 0, testD, core.DefaultCentralizedConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// TestClassify covers every classification branch: schedule replay,
+// non-uniform protocol, lane-uniform protocol, and each scalar-only
+// override that forces a lane-capable batch back to scalar.
+func TestClassify(t *testing.T) {
+	g := testGraph(t, 1)
+	uniform := protoReq(g)
+	if got := exec.Classify(uniform); got != exec.BackendScalar {
+		t.Errorf("single uniform trial classified %v, want scalar (lanes are batch-only)", got)
+	}
+	if got := exec.ClassifyBatch(uniform); got != exec.BackendLanes {
+		t.Errorf("uniform batch classified %v, want lanes", got)
+	}
+
+	sched := &exec.Request{Graph: g, Sources: []int32{0}, Schedule: testSchedule(t, g)}
+	if got := exec.Classify(sched); got != exec.BackendSchedule {
+		t.Errorf("schedule request classified %v, want schedule", got)
+	}
+	if got := exec.ClassifyBatch(sched); got != exec.BackendSchedule {
+		t.Errorf("schedule batch classified %v, want schedule", got)
+	}
+
+	nonUniform := protoReq(g)
+	nonUniform.Protocol = &protocols.RoundRobin{N: g.N()}
+	if got := exec.ClassifyBatch(nonUniform); got != exec.BackendScalar {
+		t.Errorf("non-uniform batch classified %v, want scalar", got)
+	}
+
+	for name, mutate := range map[string]func(*exec.Request){
+		"force-scalar": func(r *exec.Request) { r.ForceScalar = true },
+		"per-node":     func(r *exec.Request) { r.PerNode = true },
+		"observer":     func(r *exec.Request) { r.Observer = &trace.Counters{} },
+		"engine":       func(r *exec.Request) { r.Engine = radio.NewEngine(g, 0, radio.StrictInformed) },
+	} {
+		req := protoReq(g)
+		mutate(req)
+		if got := exec.ClassifyBatch(req); got != exec.BackendScalar {
+			t.Errorf("%s batch classified %v, want scalar", name, got)
+		}
+	}
+}
+
+// TestRunMatchesEngine: exec.Run is bit-identical to driving the scalar
+// engine directly with the same rng — the facade rewire changes nothing.
+func TestRunMatchesEngine(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 2)
+	req := protoReq(g)
+
+	e := radio.NewEngineMulti(g, []int32{0}, radio.StrictInformed)
+	want := e.RunProtocol(req.Protocol, req.MaxRounds, xrand.New(5))
+
+	got, err := x.Run(context.Background(), req, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.Completed != want.Completed || got.Informed != want.Informed {
+		t.Errorf("exec.Run = %+v, direct engine = %+v", got, want)
+	}
+	st := x.Snapshot()
+	if st.Scalar.Runs != 1 || st.Scalar.Trials != 1 {
+		t.Errorf("scalar counters = %+v, want runs=1 trials=1", st.Scalar)
+	}
+}
+
+// TestRunSchedule: schedule requests replay deterministically through
+// the schedule backend and count there.
+func TestRunSchedule(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 3)
+	sched := testSchedule(t, g)
+	want, err := radio.ExecuteSchedule(g, 0, sched, radio.StrictInformed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := x.Run(context.Background(), &exec.Request{Graph: g, Sources: []int32{0}, Schedule: sched}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rounds != want.Rounds || got.Completed != want.Completed {
+		t.Errorf("exec schedule replay = %+v, direct = %+v", got, want)
+	}
+	st := x.Snapshot()
+	if st.Schedule.Runs != 1 || st.Scalar.Runs != 0 {
+		t.Errorf("counters = %+v, want the run on the schedule backend", st)
+	}
+}
+
+// TestRunSeedsLanes: a lane-classified batch matches lanes.RunBlocks
+// bit for bit and counts on the lane backend.
+func TestRunSeedsLanes(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 4)
+	req := protoReq(g)
+	seeds := sweep.Seeds(100, 11)
+
+	plan, ok := lanes.NewPlan(req.Protocol, req.MaxRounds)
+	if !ok {
+		t.Fatal("distributed protocol must be lane-capable")
+	}
+	want := make([]int, len(seeds))
+	if err := lanes.RunBlocks(context.Background(), g, []int32{0}, plan, seeds, 0, 0, want); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make([]int, len(seeds))
+	backend, err := x.RunSeeds(context.Background(), req, seeds, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != exec.BackendLanes {
+		t.Fatalf("backend = %v, want lanes", backend)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: exec %d vs direct lanes %d", i, got[i], want[i])
+		}
+	}
+	st := x.Snapshot()
+	if st.Lanes.Runs != 1 || st.Lanes.Trials != int64(len(seeds)) || st.Lanes.Fallbacks != 0 {
+		t.Errorf("lane counters = %+v, want runs=1 trials=%d", st.Lanes, len(seeds))
+	}
+}
+
+// TestRunSeedsFallback: a non-uniform protocol batch falls back to
+// per-seed scalar trials — bit-identical to running each seed on a
+// fresh engine — and records the fallback.
+func TestRunSeedsFallback(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 5)
+	req := protoReq(g)
+	req.Protocol = &protocols.RoundRobin{N: g.N()}
+	req.MaxRounds = 4 * g.N()
+	seeds := sweep.Seeds(9, 13)
+
+	got := make([]int, len(seeds))
+	backend, err := x.RunSeeds(context.Background(), req, seeds, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend != exec.BackendScalar {
+		t.Fatalf("backend = %v, want scalar fallback", backend)
+	}
+	e := radio.NewEngineMulti(g, []int32{0}, radio.StrictInformed)
+	for i, seed := range seeds {
+		if want := radio.BroadcastTimeOn(e, req.Protocol, req.MaxRounds, xrand.New(seed)); got[i] != want {
+			t.Fatalf("trial %d: exec %d vs direct scalar %d", i, got[i], want)
+		}
+	}
+	st := x.Snapshot()
+	if st.Scalar.Fallbacks != 1 || st.Scalar.Trials != int64(len(seeds)) {
+		t.Errorf("scalar counters = %+v, want fallbacks=1 trials=%d", st.Scalar, len(seeds))
+	}
+}
+
+// TestCancelMidRun: a canceled context stops every dispatch path with
+// an error wrapping radio.ErrCanceled.
+func TestCancelMidRun(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := x.Run(ctx, protoReq(g), xrand.New(1)); !errors.Is(err, radio.ErrCanceled) {
+		t.Errorf("Run under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	if _, err := x.Time(ctx, protoReq(g), xrand.New(1)); !errors.Is(err, radio.ErrCanceled) {
+		t.Errorf("Time under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	seeds := sweep.Seeds(64, 1)
+	out := make([]int, len(seeds))
+	if _, err := x.RunSeeds(ctx, protoReq(g), seeds, out); !errors.Is(err, radio.ErrCanceled) {
+		t.Errorf("lane RunSeeds under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	scalarReq := protoReq(g)
+	scalarReq.ForceScalar = true
+	if _, err := x.RunSeeds(ctx, scalarReq, seeds, out); !errors.Is(err, radio.ErrCanceled) {
+		t.Errorf("scalar RunSeeds under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	sess := x.Open(protoReq(g))
+	if _, err := sess.Time(ctx, xrand.New(1)); !errors.Is(err, radio.ErrCanceled) {
+		t.Errorf("Session.Time under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+	if err := sess.RunSeeds(ctx, seeds, out); !errors.Is(err, radio.ErrCanceled) {
+		t.Errorf("Session.RunSeeds under canceled ctx: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestSessionTime: session trials reuse one engine and stay
+// bit-identical to fresh-engine trials of the same rng streams.
+func TestSessionTime(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 7)
+	req := protoReq(g)
+	sess := x.Open(req)
+	for trial := 0; trial < 5; trial++ {
+		seed := uint64(trial + 1)
+		got, err := sess.Time(context.Background(), xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := radio.NewEngineMulti(g, []int32{0}, radio.StrictInformed)
+		if want := radio.BroadcastTimeOn(e, req.Protocol, req.MaxRounds, xrand.New(seed)); got != want {
+			t.Fatalf("trial %d: session %d vs fresh engine %d", trial, got, want)
+		}
+	}
+}
+
+// TestSessionRunSeeds: session batches run the lazily built lane engine
+// and match the one-shot lane dispatch for the same seeds, across
+// multiple blocks.
+func TestSessionRunSeeds(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 8)
+	req := protoReq(g)
+	sess := x.Open(req)
+	if sess.Backend() != exec.BackendLanes {
+		t.Fatalf("session backend = %v, want lanes", sess.Backend())
+	}
+	seeds := sweep.Seeds(3*exec.Width/2, 17) // forces >1 lane block
+	got := make([]int, len(seeds))
+	if err := sess.RunSeeds(context.Background(), seeds, got); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]int, len(seeds))
+	if _, err := x.RunSeeds(context.Background(), protoReq(g), seeds, want); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("trial %d: session %d vs one-shot %d (lane purity violated)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSessionScalarFallback: a session whose protocol is not
+// lane-capable serves RunSeeds from its scalar engine, identical to
+// per-seed Time dispatch.
+func TestSessionScalarFallback(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 9)
+	req := protoReq(g)
+	req.Protocol = &protocols.RoundRobin{N: g.N()}
+	req.MaxRounds = 4 * g.N()
+	sess := x.Open(req)
+	if sess.Backend() != exec.BackendScalar {
+		t.Fatalf("session backend = %v, want scalar", sess.Backend())
+	}
+	seeds := sweep.Seeds(7, 23)
+	got := make([]int, len(seeds))
+	if err := sess.RunSeeds(context.Background(), seeds, got); err != nil {
+		t.Fatal(err)
+	}
+	ref := x.Open(req)
+	for i, seed := range seeds {
+		want, err := ref.Time(context.Background(), xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i] != want {
+			t.Fatalf("trial %d: batch fallback %d vs per-trial %d", i, got[i], want)
+		}
+	}
+	if st := x.Snapshot(); st.Scalar.Fallbacks != 1 {
+		t.Errorf("scalar fallbacks = %d, want 1", st.Scalar.Fallbacks)
+	}
+}
+
+// TestEnginePool: acquire/release round-trips hit the per-graph pool,
+// Forget and pointer identity keep rebuilt graphs off stale engines,
+// and the counters record it all.
+func TestEnginePool(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 10)
+
+	e1 := x.AcquireEngine(g)
+	x.ReleaseEngine(e1)
+	e2 := x.AcquireEngine(g)
+	if e1 != e2 {
+		t.Error("second acquire must reuse the released engine")
+	}
+	x.ReleaseEngine(e2)
+
+	// A structurally identical rebuild is a different pointer: miss.
+	g2 := testGraph(t, 10)
+	if got := x.AcquireEngine(g2); got == e1 {
+		t.Error("rebuilt graph must not receive the old graph's engine")
+	}
+
+	x.Forget(g)
+	if got := x.AcquireEngine(g); got == e1 {
+		t.Error("acquire after Forget must build fresh")
+	}
+
+	st := x.Snapshot()
+	if st.Scalar.PoolHits != 1 {
+		t.Errorf("pool_hits = %d, want 1", st.Scalar.PoolHits)
+	}
+	if st.Scalar.PoolMisses != 3 {
+		t.Errorf("pool_misses = %d, want 3", st.Scalar.PoolMisses)
+	}
+}
+
+// TestRunPooled: a Pool-flagged run checks an engine out and back in,
+// and a pooled rerun of the same request is bit-identical to the
+// fresh-engine first run (SetSources fully resets).
+func TestRunPooled(t *testing.T) {
+	x := exec.New()
+	g := testGraph(t, 11)
+	req := protoReq(g)
+	req.Pool = true
+	var rounds [2]int
+	for i := range rounds {
+		res, err := x.Run(context.Background(), req, xrand.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[i] = res.Rounds
+	}
+	if rounds[0] != rounds[1] {
+		t.Errorf("pooled rerun diverged: %d vs %d rounds", rounds[0], rounds[1])
+	}
+	st := x.Snapshot()
+	if st.Scalar.PoolMisses != 1 || st.Scalar.PoolHits != 1 {
+		t.Errorf("pool counters = %+v, want one miss then one hit", st.Scalar)
+	}
+}

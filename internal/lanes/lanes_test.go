@@ -23,12 +23,12 @@ package lanes_test
 // position within a block, worker count and GOMAXPROCS.
 
 import (
+	"context"
+	"errors"
 	"math"
 	"runtime"
 	"sort"
 	"testing"
-
-	"context"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -361,13 +361,16 @@ func twoSampleChiSquare(a, b []int, bins int) (chi2 float64, df int) {
 	return chi2, nb - 1
 }
 
-// TestSweepRunLanes: the sweep wrapper agrees with direct RunBlocks and
-// declines non-uniform protocols.
+// TestSweepRunLanes: the sweep wrapper agrees with direct RunBlocks,
+// declines non-uniform protocols, and propagates cancellation.
 func TestSweepRunLanes(t *testing.T) {
 	g := testGraph(t, 100, 6, 13)
 	p := core.NewDistributedProtocol(100, 6)
 	maxRounds := core.MaxRoundsFor(100)
-	values, ok := sweep.RunLanes(g, 0, p, maxRounds, 50, 321)
+	values, ok, err := sweep.RunLanes(context.Background(), g, 0, p, maxRounds, 50, 321)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("RunLanes declined a uniform protocol")
 	}
@@ -381,7 +384,12 @@ func TestSweepRunLanes(t *testing.T) {
 			t.Fatalf("trial %d: RunLanes %v, RunBlocks %d", i, values[i], want[i])
 		}
 	}
-	if _, ok := sweep.RunLanes(g, 0, &protocols.RoundRobin{N: 100}, maxRounds, 10, 1); ok {
-		t.Fatal("RunLanes accepted a non-uniform protocol")
+	if _, ok, err := sweep.RunLanes(context.Background(), g, 0, &protocols.RoundRobin{N: 100}, maxRounds, 10, 1); ok || err != nil {
+		t.Fatalf("RunLanes on a non-uniform protocol: ok=%v err=%v, want a clean decline", ok, err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok, err := sweep.RunLanes(canceled, g, 0, p, maxRounds, 50, 321); !ok || !errors.Is(err, radio.ErrCanceled) {
+		t.Fatalf("RunLanes under canceled ctx: ok=%v err=%v, want ok with ErrCanceled", ok, err)
 	}
 }

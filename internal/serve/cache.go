@@ -37,19 +37,17 @@ type GraphCache struct {
 	order    *list.List // front = most recently used
 	inflight map[GraphKey]*buildCall
 
+	// onEvict, when set, is called (outside the lock) with each graph
+	// dropped from the LRU — the server points it at the execution
+	// layer's Forget so pooled engines don't outlive their graph.
+	onEvict func(*repro.Graph)
+
 	hits, misses, coalesced, evictions int64
-	poolHits, poolMisses               int64
 }
 
 type cacheEntry struct {
 	key GraphKey
 	g   *repro.Graph
-	// engines pools idle simulation engines built for g, so steady-state
-	// requests against a cached graph skip the O(n) engine allocation.
-	// An engine is only handed out for the exact graph pointer it was
-	// built on (see EngineFor), and sync.Pool lets the GC reclaim idle
-	// engines under memory pressure.
-	engines sync.Pool
 }
 
 // buildCall is one in-flight graph build; done is closed when g/err are
@@ -99,6 +97,7 @@ func (c *GraphCache) Get(key GraphKey) (*repro.Graph, error) {
 
 	call.g, call.err = buildGraph(key)
 
+	var evicted []*repro.Graph
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if call.err == nil {
@@ -106,51 +105,20 @@ func (c *GraphCache) Get(key GraphKey) (*repro.Graph, error) {
 		for c.order.Len() > c.capacity {
 			oldest := c.order.Back()
 			c.order.Remove(oldest)
-			delete(c.entries, oldest.Value.(*cacheEntry).key)
+			ent := oldest.Value.(*cacheEntry)
+			delete(c.entries, ent.key)
 			c.evictions++
+			evicted = append(evicted, ent.g)
 		}
 	}
 	c.mu.Unlock()
 	close(call.done)
+	if c.onEvict != nil {
+		for _, g := range evicted {
+			c.onEvict(g)
+		}
+	}
 	return call.g, call.err
-}
-
-// EngineFor returns a simulation engine for g, reusing a pooled one when
-// g is the graph currently cached under key (pointer identity — an
-// engine must never run on a different graph than it was built for, even
-// a structurally identical rebuild). On a pool miss, or when key has
-// been evicted or rebuilt, it allocates a fresh engine. Return the
-// engine with PutEngine when the run is over.
-func (c *GraphCache) EngineFor(key GraphKey, g *repro.Graph) *repro.Engine {
-	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		ent := el.Value.(*cacheEntry)
-		if ent.g == g {
-			if e, _ := ent.engines.Get().(*repro.Engine); e != nil {
-				c.poolHits++
-				c.mu.Unlock()
-				return e
-			}
-		}
-	}
-	c.poolMisses++
-	c.mu.Unlock()
-	return repro.NewEngine(g, 0)
-}
-
-// PutEngine returns an engine obtained from EngineFor to the pool. An
-// engine whose graph is no longer the cached instance for key (evicted,
-// or rebuilt after eviction) is dropped for the GC instead — pooling it
-// could hand a future request an engine for a stale graph pointer.
-func (c *GraphCache) PutEngine(key GraphKey, e *repro.Engine) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		ent := el.Value.(*cacheEntry)
-		if ent.g == e.Graph() {
-			ent.engines.Put(e)
-		}
-	}
 }
 
 // Stats returns a consistent snapshot of the cache counters and size.
@@ -158,18 +126,18 @@ func (c *GraphCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Size:             c.order.Len(),
-		Capacity:         c.capacity,
-		Hits:             c.hits,
-		Misses:           c.misses,
-		Coalesced:        c.coalesced,
-		Evictions:        c.evictions,
-		EnginePoolHits:   c.poolHits,
-		EnginePoolMisses: c.poolMisses,
+		Size:      c.order.Len(),
+		Capacity:  c.capacity,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
 	}
 }
 
-// CacheStats is the /metrics view of a GraphCache.
+// CacheStats is the /metrics view of a GraphCache. Engine reuse is the
+// execution layer's job, so its pool counters live in Metrics.Exec
+// (exec.Stats), not here.
 type CacheStats struct {
 	Size      int   `json:"size"`
 	Capacity  int   `json:"capacity"`
@@ -177,10 +145,6 @@ type CacheStats struct {
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	Evictions int64 `json:"evictions"`
-	// EnginePoolHits/Misses count EngineFor calls served from the
-	// per-graph engine pool vs. falling back to a fresh allocation.
-	EnginePoolHits   int64 `json:"engine_pool_hits"`
-	EnginePoolMisses int64 `json:"engine_pool_misses"`
 }
 
 // buildGraph deterministically generates the graph a key denotes.

@@ -5,24 +5,26 @@ import (
 	"net/http"
 	"runtime"
 	"testing"
+
+	"repro/internal/exec"
 )
 
 // Engine-pooling acceptance tests: repeated requests against one cached
-// graph reuse one simulation engine (pool hits in /metrics), eviction
-// invalidates pooled engines instead of serving stale graph pointers,
-// and — the point of the satellite — a steady-state request allocates
-// far less than the O(n) engine it no longer builds.
+// graph reuse one simulation engine through the execution layer's
+// per-graph pool (exec pool hits in /metrics), eviction and rebuilds
+// never hand out engines for stale graph pointers, and a steady-state
+// request allocates far less than the O(n) engine it no longer builds.
+// The pool counters live on the process-wide executor, so assertions
+// compare snapshot deltas, not absolutes.
 
 func poolReq(seed uint64) *RunRequest {
 	return &RunRequest{Generator: "gnp-connected", N: 2000, D: 10, GraphSeed: 1, Algo: "distributed", Seed: seed}
 }
 
 func TestEnginePoolReuse(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops Puts at random under the race detector; pool counters are nondeterministic")
-	}
 	s := NewServer(Config{})
 	defer s.Shutdown(0)
+	before := exec.Snapshot()
 	for i := 0; i < 5; i++ {
 		req := poolReq(uint64(i + 1))
 		if err := req.validate(&s.cfg); err != nil {
@@ -43,12 +45,12 @@ func TestEnginePoolReuse(t *testing.T) {
 			t.Fatal("broadcast must complete")
 		}
 	}
-	st := s.cache.Stats()
-	if st.EnginePoolMisses != 1 {
-		t.Errorf("engine_pool_misses = %d, want 1 (one build, then reuse)", st.EnginePoolMisses)
+	after := exec.Snapshot()
+	if misses := after.Scalar.PoolMisses - before.Scalar.PoolMisses; misses != 1 {
+		t.Errorf("pool_misses delta = %d, want 1 (one build, then reuse)", misses)
 	}
-	if st.EnginePoolHits != 4 {
-		t.Errorf("engine_pool_hits = %d, want 4", st.EnginePoolHits)
+	if hits := after.Scalar.PoolHits - before.Scalar.PoolHits; hits != 4 {
+		t.Errorf("pool_hits delta = %d, want 4", hits)
 	}
 }
 
@@ -85,6 +87,7 @@ func TestEnginePoolSameResult(t *testing.T) {
 func TestEnginePoolEviction(t *testing.T) {
 	s := NewServer(Config{CacheEntries: 1})
 	defer s.Shutdown(0)
+	before := exec.Snapshot()
 	run := func(req *RunRequest) {
 		t.Helper()
 		if err := req.validate(&s.cfg); err != nil {
@@ -104,20 +107,18 @@ func TestEnginePoolEviction(t *testing.T) {
 	b.GraphSeed = 2 // different graph: evicts a's entry from the size-1 LRU
 	run(b)
 	run(poolReq(2)) // a's graph rebuilt at a new pointer
-	st := s.cache.Stats()
-	if st.EnginePoolHits != 0 {
-		t.Errorf("engine_pool_hits = %d, want 0: every request hit a fresh or rebuilt graph", st.EnginePoolHits)
+	after := exec.Snapshot()
+	if hits := after.Scalar.PoolHits - before.Scalar.PoolHits; hits != 0 {
+		t.Errorf("pool_hits delta = %d, want 0: every request hit a fresh or rebuilt graph", hits)
 	}
-	if st.EnginePoolMisses != 3 {
-		t.Errorf("engine_pool_misses = %d, want 3", st.EnginePoolMisses)
+	if misses := after.Scalar.PoolMisses - before.Scalar.PoolMisses; misses != 3 {
+		t.Errorf("pool_misses delta = %d, want 3", misses)
 	}
 }
 
 func TestMetricsReportEnginePool(t *testing.T) {
-	if raceEnabled {
-		t.Skip("sync.Pool drops Puts at random under the race detector; pool counters are nondeterministic")
-	}
 	_, ts := newTestServer(t, Config{})
+	before := exec.Snapshot()
 	for i := 0; i < 3; i++ {
 		resp := postJSON(t, ts.URL+"/v1/run", RunRequest{N: 500, D: 10, GraphSeed: 1, Seed: uint64(i + 1)})
 		if resp.StatusCode != http.StatusOK {
@@ -130,11 +131,14 @@ func TestMetricsReportEnginePool(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := decodeBody[Metrics](t, resp)
-	if m.Cache.EnginePoolMisses < 1 {
-		t.Error("metrics must report at least one engine_pool_miss")
+	if misses := m.Exec.Scalar.PoolMisses - before.Scalar.PoolMisses; misses < 1 {
+		t.Error("metrics must report at least one engine pool miss")
 	}
-	if m.Cache.EnginePoolHits < 2 {
-		t.Errorf("engine_pool_hits = %d, want >= 2 after 3 same-graph runs", m.Cache.EnginePoolHits)
+	if hits := m.Exec.Scalar.PoolHits - before.Scalar.PoolHits; hits < 2 {
+		t.Errorf("pool_hits delta = %d, want >= 2 after 3 same-graph runs", hits)
+	}
+	if runs := m.Exec.Scalar.Runs - before.Scalar.Runs; runs < 3 {
+		t.Errorf("scalar runs delta = %d, want >= 3", runs)
 	}
 }
 
@@ -145,7 +149,7 @@ func TestMetricsReportEnginePool(t *testing.T) {
 // a small fixed budget).
 func TestRunSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
-		t.Skip("sync.Pool drops Puts at random under the race detector; pool counters are nondeterministic")
+		t.Skip("allocation accounting is not meaningful under the race detector")
 	}
 	s := NewServer(Config{})
 	defer s.Shutdown(0)

@@ -34,6 +34,7 @@ import (
 
 	"repro"
 	"repro/internal/campaign"
+	"repro/internal/exec"
 	"repro/internal/protocols"
 )
 
@@ -128,7 +129,7 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		cfg:            cfg,
 		pool:           NewPool(cfg.Workers, cfg.QueueCap),
 		cache:          NewGraphCache(cfg.CacheEntries),
@@ -138,6 +139,12 @@ func NewServer(cfg Config) *Server {
 		shardSem:       make(chan struct{}, cfg.ShardWorkers),
 		campaigns:      make(map[string]*campaignJob),
 	}
+	// A graph dropped from the LRU takes its pooled engines with it;
+	// correctness never depends on this (engines are keyed by graph
+	// pointer, and a rebuilt graph is a new pointer), it just keeps
+	// engine memory from outliving the graphs it serves.
+	s.cache.onEvict = exec.Forget
+	return s
 }
 
 // Handler returns the route table.
@@ -326,7 +333,7 @@ func (s *Server) prepare(req *RunRequest) (*simulation, error) {
 	}
 	sim := &simulation{s: s, req: req, g: g, key: key, opts: opts}
 	if req.Algo != "centralized" {
-		sim.engine = s.cache.EngineFor(key, g)
+		sim.engine = exec.AcquireEngine(g)
 		sim.opts = append(sim.opts, repro.WithEngine(sim.engine))
 	}
 	return sim, nil
@@ -340,7 +347,7 @@ func (sim *simulation) run(ctx context.Context, extra ...repro.Option) (repro.Re
 	res, err := repro.RunContext(ctx, sim.g, sim.req.Src, opts...)
 	if sim.engine != nil {
 		sim.engine.Attach(nil)
-		sim.s.cache.PutEngine(sim.key, sim.engine)
+		exec.ReleaseEngine(sim.engine)
 		sim.engine = nil
 	}
 	return res, err
@@ -577,10 +584,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // Metrics is the body of GET /metrics: a JSON snapshot of the pool, the
-// graph cache, per-endpoint latency counters and campaign states.
+// graph cache, the execution layer's per-backend counters (shared by
+// every layer in the process — request runs, campaigns and cluster
+// shards all dispatch through the same executor), per-endpoint latency
+// counters and campaign states.
 type Metrics struct {
 	Pool      PoolStats                `json:"pool"`
 	Cache     CacheStats               `json:"cache"`
+	Exec      exec.Stats               `json:"exec"`
 	Requests  map[string]EndpointStats `json:"requests"`
 	Campaigns map[string]int           `json:"campaigns"`
 	Shards    ShardStats               `json:"shards"`
@@ -597,6 +608,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, Metrics{
 		Pool:      s.pool.Stats(),
 		Cache:     s.cache.Stats(),
+		Exec:      exec.Snapshot(),
 		Requests:  s.metrics.snapshot(),
 		Campaigns: states,
 		Shards:    shards,

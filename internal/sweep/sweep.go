@@ -10,8 +10,8 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/graph"
-	"repro/internal/lanes"
 	"repro/internal/radio"
 	"repro/internal/trace"
 	"repro/internal/xrand"
@@ -179,30 +179,37 @@ dispatch:
 // maxRounds+1 for trials that do not finish in budget, exactly the
 // radio.BroadcastTimeOn sentinel.
 //
-// ok is false (and values nil) when p declares no full uniform schedule
-// over the budget (no radio.UniformProtocol, or a non-uniform round);
-// callers fall back to Run/RunWith with the scalar engine. Lane purity
-// makes each value a function of its trial seed alone, so results are
-// bitwise independent of lane width, block sharding, worker count and
-// GOMAXPROCS — but the lane engine is a new randomness stream: values
-// are distributionally identical to a scalar sweep of the same seeds,
-// not bit-identical to one (the PR 3 stream policy).
-func RunLanes(g *graph.Graph, src int32, p radio.Protocol, maxRounds, trials int, baseSeed uint64) (values []float64, ok bool) {
-	plan, ok := lanes.NewPlan(p, maxRounds)
-	if !ok {
-		return nil, false
+// ok is false (and values nil) when the execution layer classifies a
+// batch of p onto the scalar backend (no radio.UniformProtocol, or a
+// non-uniform round within the budget); callers fall back to
+// Run/RunWith with the scalar engine. Lane purity makes each value a
+// function of its trial seed alone, so results are bitwise independent
+// of lane width, block sharding, worker count and GOMAXPROCS — but the
+// lane engine is a new randomness stream: values are distributionally
+// identical to a scalar sweep of the same seeds, not bit-identical to
+// one (the PR 3 stream policy).
+//
+// Cancellation is cooperative: once ctx is canceled the lane workers
+// stop between rounds and RunLanes returns a non-nil error wrapping
+// radio.ErrCanceled; values are nil then (partially advanced lane
+// blocks are not loss-free the way scalar NaN-marking is).
+func RunLanes(ctx context.Context, g *graph.Graph, src int32, p radio.Protocol, maxRounds, trials int, baseSeed uint64) (values []float64, ok bool, err error) {
+	req := &exec.Request{Graph: g, Sources: []int32{src}, Protocol: p, MaxRounds: maxRounds}
+	if exec.ClassifyBatch(req) != exec.BackendLanes {
+		return nil, false, nil
 	}
 	if trials <= 0 {
-		return []float64{}, true
+		return []float64{}, true, nil
 	}
 	rounds := make([]int, trials)
-	// Background context: RunBlocks cannot fail without cancellation.
-	_ = lanes.RunBlocks(context.Background(), g, []int32{src}, plan, Seeds(trials, baseSeed), 0, 0, rounds)
+	if _, err := exec.RunSeeds(ctx, req, Seeds(trials, baseSeed), rounds); err != nil {
+		return nil, true, err
+	}
 	out := make([]float64, trials)
 	for i, r := range rounds {
 		out[i] = float64(r)
 	}
-	return out, true
+	return out, true, nil
 }
 
 // RunObserved is RunWith with per-worker trace observers: each worker

@@ -12,7 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/radio"
+	"repro/internal/exec"
 )
 
 // Option configures a Run call.
@@ -204,7 +204,7 @@ func RunContext(ctx context.Context, g *Graph, src int32, opts ...Option) (Resul
 		}
 	}
 	if c.schedule != nil {
-		return radio.ExecuteScheduleObservedContext(c.ctx, g, sources, c.schedule, radio.StrictInformed, c.obs)
+		return exec.Run(c.ctx, &exec.Request{Graph: g, Sources: sources, Schedule: c.schedule, Observer: c.obs}, nil)
 	}
 
 	rng := c.rng
@@ -227,16 +227,18 @@ func RunContext(ctx context.Context, g *Graph, src int32, opts ...Option) (Resul
 	if !c.hasMax {
 		maxRounds = core.MaxRoundsFor(g.N())
 	}
-	e := c.engine
-	if e == nil {
-		e = radio.NewEngineMulti(g, sources, radio.StrictInformed)
-	} else {
-		e.SetSources(sources)
-		e.SetResultReuse(true)
-	}
-	e.Attach(c.obs)
-	e.SetPerNodeSampling(c.perNode)
-	return e.RunProtocolContext(c.ctx, p, maxRounds, rng)
+	// Dispatch through the unified execution layer (internal/exec): it
+	// owns engine construction and WithEngine re-initialisation, so a
+	// pooled- or caller-engine run stays bit-identical to a fresh one.
+	return exec.Run(c.ctx, &exec.Request{
+		Graph:     g,
+		Sources:   sources,
+		Protocol:  p,
+		MaxRounds: maxRounds,
+		PerNode:   c.perNode,
+		Observer:  c.obs,
+		Engine:    c.engine,
+	}, rng)
 }
 
 // meanDegree returns 2m/n, the graph's empirical average degree (the

@@ -1,0 +1,44 @@
+#!/bin/sh
+# archlint: enforce the execution-layer boundary (DESIGN.md section 10).
+#
+# Engine construction — lanes.NewEngine, radio.NewEngine,
+# radio.NewEngineMulti, repro.NewEngine — is the unified execution
+# layer's job. Consumers (the facade batch/run paths, sweep, campaign,
+# serve, cluster) must go through internal/exec so backend selection,
+# pooling and counters stay in one place. This script fails if any
+# non-test file in a consumer layer constructs an engine directly.
+#
+# Deliberately exempt:
+#   - internal/exec itself (the one legitimate construction site)
+#   - _test.go files (tests build reference engines to diff against)
+#   - internal/oracle (the differential oracle must build engines
+#     independently of the layer it is checking)
+#   - radio.go / deprecated.go facade constructors (NewEngine is public
+#     API; the lint guards the run paths, not the constructor export)
+
+set -eu
+cd "$(dirname "$0")/.."
+
+scan() {
+	# $1: description, $2...: files/dirs to scan (missing ones skipped)
+	desc=$1
+	shift
+	set -- $(for f in "$@"; do [ -e "$f" ] && printf '%s\n' "$f"; done)
+	[ $# -eq 0 ] && return 0
+	grep -rnE --include='*.go' --exclude='*_test.go' \
+		'(lanes|radio|repro)\.NewEngine(Multi)?\(' "$@" || return 0
+	echo "archlint: $desc must not construct engines directly; route through internal/exec" >&2
+	return 1
+}
+
+fail=0
+scan "the facade run paths (batch.go, options.go)" batch.go options.go || fail=1
+scan "internal/sweep" internal/sweep || fail=1
+scan "internal/campaign" internal/campaign || fail=1
+scan "internal/serve" internal/serve || fail=1
+scan "internal/cluster" internal/cluster || fail=1
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "archlint: ok (no engine construction outside internal/exec)"

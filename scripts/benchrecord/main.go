@@ -66,6 +66,7 @@ var whatFor = map[string]string{
 	"BenchmarkLaneBroadcast":         "bit-parallel lane engine: 64 trials per Engine.Run call on the same workload; ns/trial is the headline metric",
 	"BenchmarkLaneBroadcastSmall":    "lane engine at n=10000 d=25 for the EXPERIMENTS.md throughput table",
 	"BenchmarkBroadcastReusePerNode": "per-node sampling opt-out (pre-fast-path behaviour)",
+	"BenchmarkFacadeRunBatch":        "facade RunBatch through the unified execution layer (internal/exec): classification, seed derivation and lane-engine construction included; ns/trial vs BenchmarkLaneBroadcast is the executor overhead",
 }
 
 func main() {
@@ -81,6 +82,8 @@ func main() {
 	scalarBench := flag.String("scalar-bench", "BenchmarkBroadcastReuse", "scalar benchmark for -check's same-run ratio")
 	check := flag.Bool("check", false, "check mode: assert scalar ns/op / lane ns/trial >= -min-ratio, write no record")
 	minRatio := flag.Float64("min-ratio", 3, "minimum same-run speedup accepted by -check")
+	baseBench := flag.String("base-bench", "", "baseline benchmark for the same-run overhead gate: -lane-bench ns/trial over this benchmark's ns/trial must stay <= -max-overhead")
+	maxOverhead := flag.Float64("max-overhead", 0, "maximum same-run overhead ratio accepted when -base-bench is set (0 = no gate)")
 	n := flag.Int("n", 100000, "workload graph size")
 	d := flag.Float64("d", 25, "workload expected degree")
 	flag.Parse()
@@ -103,6 +106,17 @@ func main() {
 	}
 
 	if *check {
+		if *baseBench != "" {
+			// Overhead form: both numbers are same-run ns/trial metrics,
+			// so the gate is portable to CI hardware of any speed.
+			over, base := overheadRatio(results, *laneBench, *baseBench)
+			fmt.Printf("benchrecord: %s %.0f ns/trial vs %s %.0f ns/trial: %.3fx overhead (gate %.2fx)\n",
+				*laneBench, base*over, *baseBench, base, over, *maxOverhead)
+			if *maxOverhead > 0 && over > *maxOverhead {
+				fatal(fmt.Errorf("overhead %.3fx above the %.2fx gate", over, *maxOverhead))
+			}
+			return
+		}
 		scalar := find(results, *scalarBench)
 		lane := find(results, *laneBench)
 		if scalar == nil || lane == nil {
@@ -153,6 +167,18 @@ func main() {
 		}
 		if *acceptRatio > 0 && speedup < *acceptRatio {
 			fatal(fmt.Errorf("lane speedup %.2fx below the %.2fx acceptance bar", speedup, *acceptRatio))
+		}
+	}
+	if *baseBench != "" {
+		over, base := overheadRatio(results, *laneBench, *baseBench)
+		if rec.Acceptance == nil {
+			rec.Acceptance = map[string]any{}
+		}
+		rec.Acceptance["overhead_vs_base"] = round2(over)
+		rec.Acceptance["overhead_note"] = fmt.Sprintf("%s at %.0f ns/trial over %s at %.0f ns/trial in the same run = %.3fx (criterion: <= %.2fx)",
+			*laneBench, base*over, *baseBench, base, over, *maxOverhead)
+		if *maxOverhead > 0 && over > *maxOverhead {
+			fatal(fmt.Errorf("overhead %.3fx above the %.2fx acceptance bar", over, *maxOverhead))
 		}
 	}
 	b, err := json.MarshalIndent(rec, "", "  ")
@@ -217,6 +243,20 @@ func parse(r io.Reader) (env map[string]string, results []*benchResult, err erro
 		results = append(results, res)
 	}
 	return env, results, sc.Err()
+}
+
+// overheadRatio returns the lane benchmark's ns/trial divided by the
+// base benchmark's ns/trial (both from the same run) and the base value.
+func overheadRatio(results []*benchResult, laneName, baseName string) (ratio, base float64) {
+	lane := find(results, laneName)
+	b := find(results, baseName)
+	if lane == nil || b == nil {
+		fatal(fmt.Errorf("overhead gate needs both %s and %s in the input", laneName, baseName))
+	}
+	if lane.NsPerTrial == 0 || b.NsPerTrial == 0 {
+		fatal(fmt.Errorf("overhead gate needs ns/trial metrics on both %s and %s", laneName, baseName))
+	}
+	return lane.NsPerTrial / b.NsPerTrial, b.NsPerTrial
 }
 
 func find(results []*benchResult, name string) *benchResult {
